@@ -1,0 +1,31 @@
+# Convenience targets for the HPL reproduction.
+
+PY ?= python
+
+.PHONY: install test bench report figures examples clean
+
+install:
+	pip install -e . --no-build-isolation || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Paper-fidelity regeneration (slow): 1000 repetitions per configuration.
+bench-full:
+	REPRO_BENCH_RUNS=1000 $(PY) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PY) -m repro.experiments.report 60 7 > EXPERIMENTS.md
+
+figures:
+	$(PY) -m repro.cli export benchmarks/out -n 60
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PY) $$ex || exit 1; done
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

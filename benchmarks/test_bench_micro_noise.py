@@ -1,0 +1,122 @@
+"""Micro-noise (timer interrupts) and frequency resonance.
+
+The paper's §V defers micro-noise to NETTICK; its related work (§VI,
+Ferreira et al. / Tsafrir et al.) establishes the frequency-resonance law:
+"high-frequency, fine-grained noise affects more fine-grained applications,
+and low-frequency, coarse-grained noise affects more coarse-grained
+applications."  With the explicit interrupt model we can regenerate both
+claims:
+
+* the resonance matrix: (fine app, coarse app) × (high-HZ short ticks,
+  low-HZ long ticks) with equal duty cycle — the diagonal dominates;
+* NETTICK: with one HPC task per CPU, dynamic ticks recover nearly the
+  whole interrupt cost even on an otherwise-stock tick configuration.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.apps.mpi import MpiApplication
+from repro.apps.spmd import Program
+from repro.kernel.irq import TimerInterruptParams, TimerInterrupts
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.sched_core import SchedCoreConfig
+from repro.kernel.task import SchedPolicy
+from repro.memsim.warmth import WarmthParams
+from repro.topology.presets import power6_js22
+from repro.units import msecs, secs
+
+
+def clean_hpl_kernel(seed=0):
+    # Disable the implicit tick haircut: ticks are explicit here.
+    core = SchedCoreConfig(tick_overhead=0.0, switch_cost=0, migration_cost=0)
+    return Kernel(power6_js22(), KernelConfig.hpl(core=core, warmth=WarmthParams(initial_warmth=1.0)), seed=seed)
+
+
+def run_app(kernel, iter_work, n_iters, ticks=None) -> float:
+    program = Program.iterative(
+        name="micro", n_iters=n_iters, iter_work=iter_work,
+        init_ops=0, startup_work=1000, finalize_ops=0,
+        spin_threshold=msecs(100),
+    )
+    app = MpiApplication(kernel, program, 8,
+                         on_complete=lambda a: kernel.sim.stop())
+    if ticks is not None:
+        ticks.start()
+    app.launch(policy=SchedPolicy.HPC)
+    kernel.sim.run_until(secs(600))
+    assert app.done and app.stats.app_time is not None
+    return app.stats.app_time / 1e6
+
+
+# Equal duty cycle (~1%), different granularity.
+HIGH_FREQ = TimerInterruptParams(hz=1000, duration_us=10, bookkeeping_every=10**6,
+                                 bookkeeping_us=0)
+LOW_FREQ = TimerInterruptParams(hz=10, duration_us=1000, bookkeeping_every=10**6,
+                                bookkeeping_us=0)
+
+FINE_APP = dict(iter_work=msecs(2), n_iters=150)      # ~2ms phases
+COARSE_APP = dict(iter_work=msecs(150), n_iters=2)    # ~150ms phases
+
+
+def test_frequency_resonance_matrix(benchmark, bench_seed, artifact_dir):
+    def build():
+        out = {}
+        for app_label, app in (("fine", FINE_APP), ("coarse", COARSE_APP)):
+            base = run_app(clean_hpl_kernel(bench_seed), **app)
+            for noise_label, params in (("highHZ", HIGH_FREQ), ("lowHZ", LOW_FREQ)):
+                kernel = clean_hpl_kernel(bench_seed)
+                ticks = TimerInterrupts(kernel, params)
+                t = run_app(kernel, ticks=ticks, **app)
+                out[(app_label, noise_label)] = t / base
+        return out
+
+    slowdowns = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = [f"{'app':>7} {'noise':>7} {'slowdown':>9}"]
+    for (app_label, noise_label), s in slowdowns.items():
+        lines.append(f"{app_label:>7} {noise_label:>7} {s:>9.4f}")
+    save_artifact(artifact_dir, "micro_noise_resonance.txt", "\n".join(lines))
+
+    # Everyone pays at least ~the duty cycle.
+    for s in slowdowns.values():
+        assert s > 1.005
+
+    # The resonance law: coarse noise hurts the fine app *relatively* more
+    # than it hurts the coarse app (a 1ms hole stalls a 2ms phase's barrier
+    # for half a phase; the 150ms phase absorbs it), while fine noise is a
+    # near-uniform tax on both.
+    fine_low = slowdowns[("fine", "lowHZ")]
+    coarse_low = slowdowns[("coarse", "lowHZ")]
+    assert fine_low > coarse_low * 1.02
+    fine_high = slowdowns[("fine", "highHZ")]
+    assert fine_low > fine_high  # the fine app's worst enemy is coarse noise
+
+
+def test_nettick_recovers_tick_cost(benchmark, bench_seed, artifact_dir):
+    def build():
+        base = run_app(clean_hpl_kernel(bench_seed), **COARSE_APP)
+        ticking_kernel = clean_hpl_kernel(bench_seed)
+        ticking = run_app(
+            ticking_kernel,
+            ticks=TimerInterrupts(ticking_kernel, TimerInterruptParams(hz=1000)),
+            **COARSE_APP,
+        )
+        nettick_kernel = clean_hpl_kernel(bench_seed)
+        nettick = run_app(
+            nettick_kernel,
+            ticks=TimerInterrupts(
+                nettick_kernel, TimerInterruptParams(hz=1000, nettick=True)
+            ),
+            **COARSE_APP,
+        )
+        return base, ticking, nettick
+
+    base, ticking, nettick = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_artifact(
+        artifact_dir, "nettick.txt",
+        f"no ticks: {base:.4f}s\nHZ=1000: {ticking:.4f}s\n"
+        f"HZ=1000+NETTICK: {nettick:.4f}s",
+    )
+    assert ticking > base * 1.005       # ticks cost ~0.9% duty
+    # One HPC task per CPU: NETTICK suppresses nearly every tick.
+    assert nettick < base * 1.002

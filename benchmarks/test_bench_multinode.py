@@ -1,0 +1,69 @@
+"""Multi-node co-simulation bench: §II's resonance, simulated directly.
+
+Shapes to hold:
+
+* under stock Linux, the globally-synchronized application slows down as
+  node count grows (each phase pays the max delay over more nodes);
+* under HPL the curve stays flat — quiet nodes do not resonate;
+* the co-simulated small-N slowdowns agree in direction with the bootstrap
+  extrapolation from a single node's delay profile.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.apps.spmd import Program
+from repro.cluster.multinode import run_cluster_job
+from repro.cluster.resonance import measure_phase_delays, resonance_curve
+from repro.units import msecs
+
+NODE_COUNTS = [1, 2, 4, 8, 16]
+
+
+def program():
+    return Program.iterative(
+        name="mn-bench", n_iters=12, iter_work=msecs(20),
+        init_ops=3, finalize_ops=1,
+    )
+
+
+def test_multinode_resonance(benchmark, bench_seed, artifact_dir):
+    def build():
+        out = {}
+        for regime in ("stock", "hpl"):
+            out[regime] = [
+                run_cluster_job(program(), n, regime=regime, seed=bench_seed).app_time
+                for n in NODE_COUNTS
+            ]
+        return out
+
+    times = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = [f"{'nodes':>6} {'stock (s)':>10} {'hpl (s)':>9}"]
+    for i, n in enumerate(NODE_COUNTS):
+        lines.append(
+            f"{n:>6} {times['stock'][i] / 1e6:>10.4f} {times['hpl'][i] / 1e6:>9.4f}"
+        )
+    save_artifact(artifact_dir, "multinode.txt", "\n".join(lines))
+
+    stock = times["stock"]
+    hpl = times["hpl"]
+    # Stock degrades with scale; 16 nodes visibly slower than 1.
+    assert stock[-1] > stock[0]
+    # HPL stays flat (within a tight tolerance).
+    assert max(hpl) <= min(hpl) * 1.02
+    # At every scale HPL <= stock.
+    for s, h in zip(stock, hpl):
+        assert h <= s * 1.005
+
+    # Cross-validate against the bootstrap extrapolator: same direction and
+    # comparable magnitude at N=16.
+    profile = measure_phase_delays(
+        regime="stock", nprocs=8, n_iters=40, iter_work=msecs(20), seed=bench_seed
+    )
+    predicted = {
+        pt.nodes: pt.slowdown for pt in resonance_curve(profile, NODE_COUNTS)
+    }
+    simulated_slowdown = stock[-1] / hpl[0]
+    assert predicted[16] > 1.0
+    assert simulated_slowdown > 1.0

@@ -1,0 +1,80 @@
+"""Noise resonance at scale (§II; §VI's Petrini discussion).
+
+Shapes to hold:
+
+* the probability that a phase is disturbed somewhere approaches 1.0 as the
+  node count grows, and the per-phase penalty approaches the delay ceiling;
+* a stock node's slowdown grows with scale much faster than an HPL node's;
+* leaving one hardware thread to the OS ("spare core") beats using all
+  eight at large scale — the Petrini observation.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.cluster.resonance import (
+    analytic_resonance,
+    measure_phase_delays,
+    resonance_curve,
+    spare_core_comparison,
+)
+from repro.units import msecs
+
+NODE_COUNTS = [1, 8, 64, 512, 4096]
+
+
+def test_resonance_scaling(benchmark, bench_seed, artifact_dir):
+    def build():
+        stock = measure_phase_delays(regime="stock", nprocs=8, n_iters=40,
+                                     iter_work=msecs(25), seed=bench_seed)
+        hpl = measure_phase_delays(regime="hpl", nprocs=8, n_iters=40,
+                                   iter_work=msecs(25), seed=bench_seed)
+        return {
+            "stock": resonance_curve(stock, NODE_COUNTS),
+            "hpl": resonance_curve(hpl, NODE_COUNTS),
+        }
+
+    curves = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = ["Noise resonance (slowdown vs nodes)"]
+    for label, pts in curves.items():
+        for pt in pts:
+            lines.append(
+                f"  {label:>6} N={pt.nodes:>5}: P(disturbed)={pt.p_phase_disturbed:.3f}"
+                f" slowdown={pt.slowdown:.3f}"
+            )
+    save_artifact(artifact_dir, "resonance.txt", "\n".join(lines))
+
+    stock_pts = curves["stock"]
+    # Monotone growth and saturation of the disturbance probability.
+    probs = [pt.p_phase_disturbed for pt in stock_pts]
+    assert probs == sorted(probs)
+    assert probs[-1] > 0.95
+    slowdowns = [pt.slowdown for pt in stock_pts]
+    assert slowdowns == sorted(slowdowns)
+    # At scale, the noisy stock node hurts more than the quiet HPL node.
+    assert stock_pts[-1].slowdown > curves["hpl"][-1].slowdown
+
+
+def test_analytic_resonance_limit():
+    pts = analytic_resonance(p=0.02, delay_s=0.003, base_phase_s=0.03,
+                             node_counts=NODE_COUNTS)
+    assert pts[-1].p_phase_disturbed > 0.999
+    assert pts[-1].slowdown == pytest.approx(1.1, rel=0.01)
+
+
+def test_spare_core_wins_at_scale(benchmark, bench_seed, artifact_dir):
+    curves = benchmark.pedantic(
+        lambda: spare_core_comparison(NODE_COUNTS, n_iters=40,
+                                      iter_work=msecs(25), seed=bench_seed),
+        rounds=1, iterations=1,
+    )
+    lines = ["Spare-core comparison (slowdown vs own single-node baseline)"]
+    for label, pts in curves.items():
+        for pt in pts:
+            lines.append(f"  {label:>10} N={pt.nodes:>5}: slowdown={pt.slowdown:.3f}")
+    save_artifact(artifact_dir, "spare_core.txt", "\n".join(lines))
+
+    # At the largest scale the spare-core configuration degrades less
+    # (Petrini et al. saw 1.87x at 8K processors).
+    assert curves["spare-core"][-1].slowdown < curves["all-cores"][-1].slowdown

@@ -1,0 +1,50 @@
+"""§IV policy comparison — nice / RT / pinned affinity / HPL on ep.A.8.
+
+Shape to hold: every stock-Linux knob improves something but only HPL
+removes both preemption *and* migration:
+
+* nice: ranks still preempted and migrated (dynamic priority wins);
+* RT: preemption mostly gone, migrations remain (RT balancing);
+* pinned: migrations gone, preemption remains (daemons still interleave);
+* HPL: both counters at the structural minimum, variation collapsed.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.tables import policy_comparison
+
+
+def test_policy_comparison(benchmark, bench_runs, bench_seed, artifact_dir):
+    pc = benchmark.pedantic(
+        lambda: policy_comparison("ep", "A", n_runs=max(6, bench_runs // 2),
+                                  base_seed=bench_seed),
+        rounds=1, iterations=1,
+    )
+    save_artifact(artifact_dir, "policy_comparison.txt", pc.render())
+
+    def rank_migrations(regime):
+        return sum(r.rank_migrations for r in pc.per_regime[regime].results)
+
+    def rank_preemptions(regime):
+        return sum(r.rank_involuntary_switches for r in pc.per_regime[regime].results)
+
+    # Pinned: ranks never move after fork placement.
+    n_runs = pc.per_regime["pinned"].n_runs
+    assert rank_migrations("pinned") <= 8 * n_runs
+    # ...but they are still preempted more than under HPL.
+    assert rank_preemptions("pinned") > rank_preemptions("hpl")
+
+    # RT: fewer rank preemptions than stock (daemons outranked).
+    assert rank_preemptions("rt") < rank_preemptions("stock")
+
+    # nice helps variation less than HPL does.
+    v = lambda regime: pc.stats(regime)["time"].variation
+    assert v("hpl") <= v("nice")
+    assert v("hpl") <= v("stock")
+
+    # HPL's system-wide migrations sit at the structural floor — tied with
+    # pinned (which also cannot move ranks) and far below everything else.
+    mig_avg = lambda regime: pc.stats(regime)["migrations"].mean
+    floor = min(mig_avg(r) for r in pc.per_regime)
+    assert mig_avg("hpl") <= floor + 2.0
+    assert mig_avg("rt") > 2 * mig_avg("hpl")
+    assert mig_avg("stock") > 1.3 * mig_avg("hpl")

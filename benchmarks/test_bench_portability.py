@@ -1,0 +1,70 @@
+"""Portability: HPL's design on machines that are not the js22.
+
+§I: "We avoid making our solutions architecture-dependent by including only
+hardware information common to most platforms"; §VII plans a Blue Gene
+port.  This bench re-runs the headline comparison on two other topologies —
+a Nehalem-style dual-socket Xeon (chip-shared L3, different SMT scaling)
+and a Blue Gene-ish node (4 single-thread cores) — recalibrating the
+workload to each machine and checking that the HPL-vs-stock *shape* is
+machine-independent:
+
+* HPL variation collapses on every machine;
+* HPL average <= stock average;
+* HPL rank migrations stay at the fork-placement minimum.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.stats import summarize
+from repro.apps.nas import nas_program, nas_spec
+from repro.experiments.runner import run_campaign
+from repro.topology.presets import bluegene_node, xeon_dual_socket
+
+MACHINES = {
+    "xeon-2s": lambda: xeon_dual_socket(cores_per_socket=2, smt=True),  # 8 CPUs
+    "bluegene": bluegene_node,  # 4 CPUs
+}
+
+
+def test_portability(benchmark, bench_seed, artifact_dir):
+    spec = nas_spec("is", "A")
+
+    def build():
+        out = {}
+        for label, factory in MACHINES.items():
+            nprocs = factory().n_cpus
+            program_factory = lambda f=factory: nas_program(spec, f())
+            out[label] = {
+                regime: run_campaign(
+                    program_factory, nprocs, regime, 8,
+                    base_seed=bench_seed, machine_factory=factory,
+                    cold_speed=spec.cold_speed, rewarm_scale=spec.rewarm_scale,
+                    label=f"{label}:{regime}",
+                )
+                for regime in ("stock", "hpl")
+            }
+        return out
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = []
+    for label, by_regime in results.items():
+        for regime, campaign in by_regime.items():
+            t = summarize(campaign.app_times_s())
+            lines.append(
+                f"{label:>9} {regime:>5}: time {t.minimum:.3f}/{t.mean:.3f}/"
+                f"{t.maximum:.3f} var {t.variation:.2f}%"
+            )
+    save_artifact(artifact_dir, "portability.txt", "\n".join(lines))
+
+    for label, by_regime in results.items():
+        stock_t = summarize(by_regime["stock"].app_times_s())
+        hpl_t = summarize(by_regime["hpl"].app_times_s())
+        # The shape is machine-independent.
+        assert hpl_t.variation <= stock_t.variation + 1e-9, label
+        assert hpl_t.mean <= stock_t.mean * 1.005, label
+        # Ranks never migrate after placement under HPL, on any topology.
+        n_cpus = MACHINES[label]().n_cpus
+        for result in by_regime["hpl"].results:
+            assert result.rank_migrations <= n_cpus, label

@@ -1,0 +1,81 @@
+"""Power-aware placement (the §IV aside / §VII future work, implemented).
+
+"Other reasons to perform load balancing include power consumption" (§IV);
+"We will extend HPL taking into account the power dimension" (§VII).  With
+the energy model's chip gating, HPL's placement objective becomes a real
+trade-off for under-committed jobs (4 ranks on the 8-thread js22):
+
+* **performance mode** (the paper's rule): one rank per core across both
+  chips — fastest, but both chips' uncore stays powered;
+* **power mode**: consolidate onto one chip (SMT-doubled) — slower by the
+  co-run factor, but the second chip's uncore gates off.
+
+Shapes to hold: performance mode is faster; power mode draws less average
+power; the energy-to-solution comparison quantifies the trade.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.apps.mpi import MpiApplication
+from repro.apps.spmd import Program
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.power import EnergyMeter
+from repro.kernel.task import SchedPolicy
+from repro.topology.presets import power6_js22
+from repro.units import msecs, secs
+
+NPROCS = 4
+
+
+def program():
+    return Program.iterative(
+        name="power", n_iters=10, iter_work=msecs(25),
+        init_ops=2, startup_work=msecs(6), finalize_ops=0,
+    )
+
+
+def run_mode(mode: str, seed: int):
+    kernel = Kernel(
+        power6_js22(), KernelConfig.hpl(hpl_placement_mode=mode), seed=seed
+    )
+    meter = EnergyMeter(kernel)
+    app = MpiApplication(kernel, program(), NPROCS,
+                         on_complete=lambda a: kernel.sim.stop())
+    kernel.sim.at(msecs(10), lambda: app.launch(policy=SchedPolicy.HPC))
+    kernel.sim.run_until(secs(600))
+    assert app.done and app.stats.app_time is not None
+    time_s = app.stats.app_time / 1e6
+    joules = meter.sample()
+    chips_used = {
+        kernel.machine.cpu(t.last_cpu).chip.chip_id for t in app.rank_tasks()
+    }
+    return time_s, joules, chips_used
+
+
+def test_power_vs_performance_placement(benchmark, bench_seed, artifact_dir):
+    def build():
+        return {
+            mode: run_mode(mode, bench_seed) for mode in ("performance", "power")
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = [f"{'mode':>12} {'time(s)':>9} {'energy(J)':>10} {'avg W':>7} {'chips':>6}"]
+    for mode, (t, joules, chips) in results.items():
+        lines.append(
+            f"{mode:>12} {t:>9.3f} {joules:>10.1f} {joules / t:>7.1f} "
+            f"{len(chips):>6}"
+        )
+    save_artifact(artifact_dir, "power_placement.txt", "\n".join(lines))
+
+    perf_t, perf_j, perf_chips = results["performance"]
+    power_t, power_j, power_chips = results["power"]
+
+    # Placement objectives achieved.
+    assert len(perf_chips) == 2   # spread (one rank per core)
+    assert len(power_chips) == 1  # consolidated
+    # Performance mode is faster (no SMT doubling)...
+    assert perf_t < power_t * 0.75
+    # ...power mode draws less average power (a chip's uncore gated).
+    assert power_j / power_t < perf_j / perf_t - 5.0

@@ -1,0 +1,70 @@
+"""Sensitivity sweeps + the direct/indirect noise decomposition.
+
+These benches probe the robustness of the reproduction around the paper's
+operating point (DESIGN.md §5's calibration decisions):
+
+* HPL's advantage must *grow* with noise intensity and never invert;
+* the §III direct-vs-indirect split: a meaningful share of stock-Linux
+  noise must be cache-mediated (the paper's motivation for counting
+  migrations at all), and HPL must remove most of both kinds.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.decomposition import decompose_nas_noise
+from repro.experiments.sweeps import noise_intensity_sweep
+
+
+def test_noise_intensity_sweep(benchmark, bench_seed, artifact_dir):
+    sweep = benchmark.pedantic(
+        lambda: noise_intensity_sweep(
+            factors=(0.0, 1.0, 3.0), n_runs=8, base_seed=bench_seed
+        ),
+        rounds=1, iterations=1,
+    )
+    save_artifact(artifact_dir, "sweep_noise_intensity.txt", sweep.render())
+
+    stock = sweep.for_regime("stock")
+    hpl = sweep.for_regime("hpl")
+
+    # Stock degrades monotonically with activity; context switches grow.
+    stock_times = [p.time_mean_s for p in stock]
+    assert stock_times == sorted(stock_times)
+    assert stock[-1].context_switches_mean > stock[0].context_switches_mean
+
+    # HPL's time barely moves even at 3x activity.
+    assert hpl[-1].time_mean_s <= hpl[0].time_mean_s * 1.03
+
+    # The gap widens with noise.
+    gaps = [s.time_mean_s - h.time_mean_s for s, h in zip(stock, hpl)]
+    assert gaps[-1] >= gaps[0]
+
+
+def test_noise_decomposition(benchmark, bench_seed, artifact_dir):
+    def build():
+        rows = {}
+        for bench, klass in (("is", "A"), ("cg", "A")):
+            rows[f"{bench}.{klass}"] = {
+                regime: decompose_nas_noise(bench, klass, regime=regime,
+                                            seed=bench_seed)
+                for regime in ("stock", "hpl")
+            }
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = []
+    for label, by_regime in rows.items():
+        for regime, d in by_regime.items():
+            lines.append(f"{label} {regime:>5}: {d.render()}")
+    save_artifact(artifact_dir, "noise_decomposition.txt", "\n".join(lines))
+
+    for label, by_regime in rows.items():
+        stock = by_regime["stock"]
+        hpl = by_regime["hpl"]
+        # Stock pays both kinds of overhead; HPL pays far less in total.
+        assert stock.total_overhead > 0, label
+        assert hpl.total_overhead < stock.total_overhead, label
+    # On the cache-sensitive benchmark, the indirect share is material
+    # (the paper's §III: preemption/migration cost is partly cache damage).
+    assert rows["cg.A"]["stock"].indirect_fraction > 0.1

@@ -1,0 +1,61 @@
+"""TLB / HugeTLB extension bench (paper §VI's Shmueli discussion + §VII
+future work: "TLB performance ... we plan to follow the same technique").
+
+Shape to hold (Shmueli et al., qualitatively): a working set far beyond TLB
+reach pays a visible steady-state drag with 4 KiB pages; 16 MiB hugepages
+restore full coverage and most of the lost speed, and shrink the per-switch
+refill cost by orders of magnitude.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.memsim.tlb import TlbModel, TlbParams
+
+
+WORKING_SETS_KIB = [1 << 10, 1 << 15, 1 << 18, 1 << 20]  # 1 MiB .. 1 GiB
+
+
+def test_tlb_hugepage_sweep(benchmark, artifact_dir):
+    def build():
+        base = TlbModel(TlbParams())
+        huge = TlbModel(TlbParams().with_hugepages())
+        rows = []
+        for ws in WORKING_SETS_KIB:
+            small = base.assess(ws)
+            big = huge.assess(ws)
+            rows.append((ws, small, big, base.hugepage_speedup(ws)))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = [
+        f"{'working set':>12} {'4K coverage':>12} {'4K speed':>9} "
+        f"{'16M coverage':>13} {'16M speed':>10} {'speedup':>8}"
+    ]
+    for ws, small, big, speedup in rows:
+        lines.append(
+            f"{ws >> 10:>9} MiB {small.coverage:>12.4f} {small.speed_factor:>9.3f} "
+            f"{big.coverage:>13.4f} {big.speed_factor:>10.3f} {speedup:>8.3f}"
+        )
+    save_artifact(artifact_dir, "tlb_hugepages.txt", "\n".join(lines))
+
+    # Small sets: covered either way, no speedup to be had.
+    ws0, small0, big0, speedup0 = rows[0]
+    assert small0.coverage == 1.0 and speedup0 == pytest.approx(1.0)
+
+    # Large sets: 4K coverage collapses, hugepages restore it fully.
+    ws_big, small_big, big_big, speedup_big = rows[-1]
+    assert small_big.coverage < 0.01
+    assert big_big.coverage == 1.0
+    assert speedup_big > 1.05
+
+    # Speedup grows monotonically with working-set size.
+    speedups = [r[3] for r in rows]
+    assert speedups == sorted(speedups)
+
+    # Context-switch refill: hugepages shrink it by >= the page-size ratio's
+    # order of magnitude.
+    base = TlbModel(TlbParams())
+    huge = TlbModel(TlbParams().with_hugepages())
+    assert huge.switch_cost_us(1 << 20) < base.switch_cost_us(1 << 20) / 10

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Build your own workload and machine: the library as a toolkit.
+
+Shows the full public API surface end to end:
+
+1. define a custom machine topology (a 4-core Blue Gene-ish node — the
+   paper's future-work porting target);
+2. write a custom SPMD phase program (a halo-exchange stencil with a
+   blocking checkpoint phase);
+3. add a custom noise profile (one chatty logging daemon);
+4. launch it through the perf/chrt/mpiexec chain under stock and HPL
+   kernels and compare.
+
+Usage::
+
+    python examples/custom_workload.py [seed]
+"""
+
+import sys
+
+from repro.apps.mpiexec import LaunchMode, MpiJob
+from repro.apps.spmd import Phase, PhaseKind, Program
+from repro.kernel.daemons import DaemonSet, DaemonSpec, NoiseProfile
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.topology.presets import bluegene_node
+from repro.units import msecs, secs
+
+
+def stencil_program(n_iters: int = 12) -> Program:
+    """A 2-D stencil: compute, halo exchange, and a checkpoint write every
+    four iterations (a blocking I/O phase — real applications do this)."""
+    phases = [Phase(PhaseKind.COMPUTE, work=msecs(2), label="setup")]
+    phases += [Phase(PhaseKind.BLOCKIO, wait_mean=400, label=f"init{i}") for i in range(6)]
+    phases.append(Phase(PhaseKind.SYNC, latency=30, timer_start=True, label="start"))
+    for i in range(n_iters):
+        phases.append(
+            Phase(PhaseKind.COMPUTE, work=msecs(8), jitter_sigma=0.01, label=f"stencil{i}")
+        )
+        last = i == n_iters - 1
+        phases.append(
+            Phase(PhaseKind.SYNC, latency=40, arrival_cost=15,
+                  timer_stop=last, label=f"halo{i}")
+        )
+        if not last and i % 4 == 3:
+            phases.append(
+                Phase(PhaseKind.BLOCKIO, wait_mean=msecs(2), label=f"ckpt{i}")
+            )
+    return Program(tuple(phases), name="stencil")
+
+
+def chatty_node() -> NoiseProfile:
+    return NoiseProfile(
+        daemons=(
+            DaemonSpec("logger", period_mean=msecs(3), duration_median=300,
+                       duration_sigma=0.8, count=2),
+        ),
+        label="chatty",
+    )
+
+
+def run(variant: str, seed: int):
+    machine = bluegene_node()
+    config = KernelConfig.hpl() if variant == "hpl" else KernelConfig.stock()
+    kernel = Kernel(machine, config, seed=seed)
+    DaemonSet(kernel, chatty_node()).start()
+    job = MpiJob(
+        kernel,
+        stencil_program(),
+        nprocs=4,
+        mode=LaunchMode.HPC if variant == "hpl" else LaunchMode.CFS,
+        on_complete=lambda r: kernel.sim.stop(),
+    )
+    job.start(at=msecs(20))
+    kernel.sim.run_until(secs(600))
+    return job.result
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    machine = bluegene_node()
+    print(f"machine: {machine.describe()}")
+    program = stencil_program()
+    print(f"program: {program.name}, {len(program.phases)} phases, "
+          f"{program.n_syncs} collectives\n")
+
+    for variant in ("stock", "hpl"):
+        r = run(variant, seed)
+        print(
+            f"{variant:>5}: time {r.app_time_s:.3f}s  "
+            f"migrations {r.cpu_migrations:>3}  switches {r.context_switches:>4}"
+        )
+    print(
+        "\nHPL's placement and class priority carry over unchanged to the "
+        "new topology:\nit only consumes hardware facts 'common to most "
+        "platforms' (paper SS I)."
+    )
+
+
+if __name__ == "__main__":
+    main()

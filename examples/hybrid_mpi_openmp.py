@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Hybrid MPI+OpenMP under stock Linux vs HPL (the §I thesis, executed).
+
+Runs a 2-rank x 4-thread hybrid job — "all processes and threads inside an
+application should be scheduled as a single entity" — and compares:
+
+* stock CFS with passive OpenMP waits (worker CPUs idle at joins: the
+  balancer and the daemons move in);
+* stock CFS with active waits (workers hold their CPUs but daemons still
+  preempt);
+* HPL with active waits: the whole 8-task gang owns the node.
+
+Usage::
+
+    python examples/hybrid_mpi_openmp.py [n_runs]
+"""
+
+import sys
+
+from repro.analysis.stats import summarize
+from repro.apps.hybrid import HybridApplication
+from repro.apps.spmd import Program
+from repro.kernel.daemons import DaemonSet, cluster_node_profile
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.task import SchedPolicy
+from repro.topology.presets import power6_js22
+from repro.units import msecs, secs
+
+
+def program():
+    return Program.iterative(
+        name="hybrid", n_iters=12, iter_work=msecs(20),
+        init_ops=4, startup_work=msecs(3), finalize_ops=1,
+    )
+
+
+def run_once(variant: str, omp_wait: str, seed: int) -> float:
+    config = KernelConfig.hpl() if variant == "hpl" else KernelConfig.stock()
+    kernel = Kernel(power6_js22(), config, seed=seed)
+    DaemonSet(kernel, cluster_node_profile()).start()
+    app = HybridApplication(
+        kernel, program(), n_ranks=2, threads_per_rank=4,
+        omp_wait=omp_wait, on_complete=lambda a: kernel.sim.stop(),
+    )
+    policy = SchedPolicy.HPC if variant == "hpl" else None
+    kernel.sim.at(msecs(30), lambda: app.launch(policy=policy), label="launch")
+    kernel.sim.run_until(secs(900))
+    assert app.done and app.stats.app_time is not None
+    return app.stats.app_time / 1e6
+
+
+def main() -> None:
+    n_runs = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    arms = [
+        ("stock", "passive"),
+        ("stock", "active"),
+        ("hpl", "active"),
+    ]
+    print(f"2 ranks x 4 threads on the js22, {n_runs} runs per arm\n")
+    print(f"{'kernel':>6} {'omp wait':>9} {'T.min':>8} {'T.avg':>8} {'T.max':>8} {'var%':>7}")
+    for variant, wait in arms:
+        times = [run_once(variant, wait, seed) for seed in range(n_runs)]
+        s = summarize(times)
+        print(f"{variant:>6} {wait:>9} {s.minimum:>8.3f} {s.mean:>8.3f} "
+              f"{s.maximum:>8.3f} {s.variation:>7.2f}")
+    print(
+        "\nActive waits keep the gang's CPUs occupied (fewer daemon windows); "
+        "the HPC class\nmakes that occupation authoritative."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Reproduce a miniature Table II: run NAS campaigns under both kernels and
+report min/avg/max/variation, like the paper's §V (which used 1000
+repetitions; pass a bigger count for higher fidelity).
+
+Usage::
+
+    python examples/nas_variability_study.py [n_runs] [bench bench ...]
+    python examples/nas_variability_study.py 30 ep.A cg.A is.A
+"""
+
+import sys
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import TextTable
+from repro.experiments.runner import run_nas_campaign
+
+
+def main() -> None:
+    n_runs = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    picks = sys.argv[2:] or ["ep.A", "cg.A", "is.A", "mg.A"]
+
+    table = TextTable(
+        f"NAS execution time over {n_runs} runs (seconds)",
+        ["Bench", "Std.Min", "Std.Avg", "Std.Max", "Std.Var%",
+         "HPL.Min", "HPL.Avg", "HPL.Max", "HPL.Var%"],
+    )
+    for pick in picks:
+        name, klass = pick.split(".")
+        print(f"running {pick} ({n_runs} runs x 2 kernels)...", flush=True)
+        stock = summarize(
+            run_nas_campaign(name, klass, "stock", n_runs).app_times_s()
+        )
+        hpl = summarize(
+            run_nas_campaign(name, klass, "hpl", n_runs).app_times_s()
+        )
+        table.add_row(
+            f"{name}.{klass}.8",
+            stock.minimum, stock.mean, stock.maximum, stock.variation,
+            hpl.minimum, hpl.mean, hpl.maximum, hpl.variation,
+        )
+    print()
+    print(table.render())
+    print(
+        "\nThe paper's headline: HPL keeps every benchmark within ~3% of its "
+        "best time\n(2.11% average), one-to-four orders of magnitude tighter "
+        "than stock Linux."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Trace a run and render the Gantt view: who ran where, who got preempted.
+
+Attaches the scheduler trace to a stock-Linux kernel, runs a small 4-rank
+application alongside the node's daemons, and prints:
+
+* the per-CPU occupancy Gantt for a window around one barrier,
+* the ``/proc``-style scheduler statistics for the noisiest rank,
+* a ``perf sched``-style migration log.
+
+Usage::
+
+    python examples/trace_a_run.py [seed]
+"""
+
+import sys
+
+from repro.analysis.timeline import build_timeline, render_gantt
+from repro.apps.mpi import MpiApplication
+from repro.apps.spmd import Program
+from repro.kernel.daemons import DaemonSet, cluster_node_profile
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.proc import render_schedstat, render_task_sched
+from repro.sim.trace import TraceKind, attach_trace
+from repro.topology.presets import generic_smp
+from repro.units import msecs, secs
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+
+    kernel = Kernel(generic_smp(4), KernelConfig.stock(), seed=seed)
+    trace = attach_trace(kernel)
+    DaemonSet(kernel, cluster_node_profile()).start()
+
+    program = Program.iterative(
+        name="traced", n_iters=6, iter_work=msecs(30), init_ops=3, finalize_ops=1
+    )
+    app = MpiApplication(kernel, program, 4, on_complete=lambda a: kernel.sim.stop())
+    kernel.sim.at(msecs(20), app.launch, label="launch")
+    kernel.sim.run_until(secs(120))
+
+    stats = app.stats
+    print(f"application finished: timed section {stats.app_time / 1e6:.3f}s\n")
+
+    # Gantt of the whole timed section.
+    assert stats.timer_started_at is not None and stats.timer_stopped_at is not None
+    idle_pids = [t.pid for t in kernel.tasks.values() if t.is_idle]
+    window = build_timeline(
+        trace,
+        start=stats.timer_started_at,
+        end=stats.timer_stopped_at,
+        idle_pids=idle_pids,
+    )
+    names = {t.pid: t.name for t in kernel.tasks.values()}
+    print(render_gantt(window, names=names, width=72))
+
+    # The noisiest rank's /proc/<pid>/sched.
+    noisiest = max(app.rank_tasks(), key=lambda t: t.nr_involuntary_switches)
+    print()
+    print(render_task_sched(noisiest))
+
+    # Migration log.
+    migrations = trace.events(kind=TraceKind.MIGRATE)
+    print(f"\n{len(migrations)} migrations recorded; first few:")
+    for e in migrations[:8]:
+        print(f"  t={e.time:>9}us pid {e.pid} ({names.get(e.pid, '?')}) "
+              f"cpu{e.prev_cpu} -> cpu{e.cpu}")
+
+    print()
+    print(render_schedstat(kernel))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Statistics, histograms, correlations, and table rendering for campaigns.
+
+Conventions follow the paper: "variation is computed as the difference
+between maximum and minimum performance values divided by the minimum value"
+(§V footnote 8); counters are reported as min/avg/max over the campaign.
+"""
+
+from repro.analysis.stats import RunStatistics, summarize, variation_pct
+from repro.analysis.histogram import Histogram, build_histogram, render_ascii_histogram
+from repro.analysis.correlation import pearson, spearman, binned_means, CorrelationReport, correlate
+from repro.analysis.tables import TextTable, render_table
+from repro.analysis.timeline import Interval, Timeline, build_timeline, render_gantt
+from repro.analysis.decomposition import NoiseDecomposition, decompose_nas_noise, decompose_noise
+
+__all__ = [
+    "RunStatistics",
+    "summarize",
+    "variation_pct",
+    "Histogram",
+    "build_histogram",
+    "render_ascii_histogram",
+    "pearson",
+    "spearman",
+    "binned_means",
+    "CorrelationReport",
+    "correlate",
+    "TextTable",
+    "render_table",
+    "Interval",
+    "Timeline",
+    "build_timeline",
+    "render_gantt",
+    "NoiseDecomposition",
+    "decompose_nas_noise",
+    "decompose_noise",
+]

@@ -1,0 +1,87 @@
+"""Execution-time histograms (Figures 2 and 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Histogram", "build_histogram", "render_ascii_histogram"]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Binned counts of a campaign metric."""
+
+    edges: Tuple[float, ...]   #: n_bins + 1 edges
+    counts: Tuple[int, ...]    #: n_bins counts
+    n: int
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.counts)
+
+    def bin_centers(self) -> List[float]:
+        return [
+            (self.edges[i] + self.edges[i + 1]) / 2.0 for i in range(self.n_bins)
+        ]
+
+    def mode_bin(self) -> int:
+        """Index of the most populated bin."""
+        return int(np.argmax(self.counts))
+
+    def mass_above(self, threshold: float) -> float:
+        """Fraction of samples in bins entirely above *threshold* (tail mass)."""
+        total = 0
+        for i, count in enumerate(self.counts):
+            if self.edges[i] >= threshold:
+                total += count
+        return total / self.n if self.n else 0.0
+
+
+def build_histogram(
+    values: Sequence[float],
+    n_bins: int = 40,
+    *,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> Histogram:
+    """Bin *values* like the paper's Fig. 2/4 panels."""
+    if len(values) == 0:
+        raise ValueError("no values")
+    if n_bins < 1:
+        raise ValueError("need at least one bin")
+    arr = np.asarray(values, dtype=float)
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    if hi <= lo:
+        hi = lo + max(abs(lo) * 1e-6, 1e-9)
+    counts, edges = np.histogram(arr, bins=n_bins, range=(lo, hi))
+    return Histogram(
+        edges=tuple(float(e) for e in edges),
+        counts=tuple(int(c) for c in counts),
+        n=arr.size,
+    )
+
+
+def render_ascii_histogram(
+    hist: Histogram,
+    *,
+    width: int = 50,
+    unit: str = "s",
+    title: str = "",
+) -> str:
+    """Terminal rendering of a histogram (the repo's stand-in for the
+    paper's figure panels)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    peak = max(hist.counts) if hist.counts else 1
+    for i, count in enumerate(hist.counts):
+        bar = "#" * (0 if peak == 0 else round(count / peak * width))
+        lo, hi = hist.edges[i], hist.edges[i + 1]
+        lines.append(f"{lo:9.3f}-{hi:9.3f} {unit} | {bar} {count}")
+    lines.append(f"n={hist.n}")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Campaign summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RunStatistics", "summarize", "variation_pct"]
+
+
+def variation_pct(values: Sequence[float]) -> float:
+    """The paper's variation metric: ``(max - min) / min * 100`` (§V fn. 8)."""
+    if len(values) == 0:
+        raise ValueError("no values")
+    lo = min(values)
+    hi = max(values)
+    if lo <= 0:
+        raise ValueError("variation is undefined for non-positive minima")
+    return (hi - lo) / lo * 100.0
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """min/avg/max (the paper's table columns) plus extras."""
+
+    n: int
+    minimum: float
+    mean: float
+    maximum: float
+    variation: float
+    std: float
+    median: float
+    p95: float
+
+    def row(self, decimals: int = 2) -> tuple:
+        """(min, avg, max, var%) formatted like the paper's tables."""
+        return (
+            round(self.minimum, decimals),
+            round(self.mean, decimals),
+            round(self.maximum, decimals),
+            round(self.variation, decimals),
+        )
+
+
+def summarize(values: Sequence[float]) -> RunStatistics:
+    """Summarize a campaign metric."""
+    if len(values) == 0:
+        raise ValueError("no values to summarize")
+    arr = np.asarray(values, dtype=float)
+    return RunStatistics(
+        n=arr.size,
+        minimum=float(arr.min()),
+        mean=float(arr.mean()),
+        maximum=float(arr.max()),
+        variation=variation_pct(values),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        median=float(np.median(arr)),
+        p95=float(np.percentile(arr, 95)),
+    )

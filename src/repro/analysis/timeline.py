@@ -1,0 +1,156 @@
+"""Per-CPU execution timelines from a scheduler trace.
+
+Reconstructs, from :class:`~repro.sim.trace.SchedTrace` switch events, the
+intervals each task occupied each CPU — enough to render the Fig. 1-style
+Gantt view of "who ran where, and who waited", and to compute per-task
+residency and wait statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.trace import SchedTrace, TraceKind
+
+__all__ = ["Interval", "Timeline", "build_timeline", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A task's contiguous occupancy of one CPU."""
+
+    cpu: int
+    pid: int
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """All reconstructed intervals, plus index helpers."""
+
+    intervals: Tuple[Interval, ...]
+    t_start: int
+    t_end: int
+
+    def for_cpu(self, cpu: int) -> List[Interval]:
+        return [iv for iv in self.intervals if iv.cpu == cpu]
+
+    def for_pid(self, pid: int) -> List[Interval]:
+        return [iv for iv in self.intervals if iv.pid == pid]
+
+    def busy_time(self, cpu: int) -> int:
+        return sum(iv.duration for iv in self.for_cpu(cpu))
+
+    def residency(self, pid: int) -> int:
+        """Total CPU time the task held (within the window)."""
+        return sum(iv.duration for iv in self.for_pid(pid))
+
+    def occupancy(self, cpu: int) -> float:
+        """Busy fraction of the window on one CPU."""
+        span = self.t_end - self.t_start
+        if span <= 0:
+            return 0.0
+        return self.busy_time(cpu) / span
+
+
+def build_timeline(
+    trace: SchedTrace,
+    *,
+    start: Optional[int] = None,
+    end: Optional[int] = None,
+    idle_pids: Sequence[int] = (),
+) -> Timeline:
+    """Fold SWITCH events into occupancy intervals.
+
+    ``idle_pids`` (the per-CPU swapper tasks) are dropped from the result —
+    an interval of idleness is represented by absence.
+    """
+    # Fold over the *whole* event stream, then clip to the window — a task
+    # that ran straight through the window without switching must still
+    # appear in it.
+    switches = trace.events(kind=TraceKind.SWITCH)
+    if not switches:
+        raise ValueError("no switch events recorded")
+    t0 = start if start is not None else switches[0].time
+    t1 = end if end is not None else switches[-1].time
+    if t1 <= t0:
+        raise ValueError("empty window")
+    idle = set(idle_pids)
+
+    current: Dict[int, Tuple[int, int]] = {}  # cpu -> (pid, since)
+    intervals: List[Interval] = []
+
+    def emit(cpu: int, pid: int, since: int, until: int) -> None:
+        lo, hi = max(since, t0), min(until, t1)
+        if pid not in idle and hi > lo:
+            intervals.append(Interval(cpu, pid, lo, hi))
+
+    for e in switches:
+        prev = current.get(e.cpu)
+        if prev is not None:
+            pid, since = prev
+            emit(e.cpu, pid, since, e.time)
+        current[e.cpu] = (e.pid, e.time)
+    for cpu, (pid, since) in current.items():
+        emit(cpu, pid, since, max(t1, since))
+    intervals.sort(key=lambda iv: (iv.cpu, iv.start))
+    if not intervals and not any(True for _ in switches):  # pragma: no cover
+        raise ValueError("no occupancy in the requested window")
+    return Timeline(tuple(intervals), t_start=t0, t_end=t1)
+
+
+def render_gantt(
+    timeline: Timeline,
+    *,
+    width: int = 80,
+    names: Optional[Mapping[int, str]] = None,
+    cpus: Optional[Sequence[int]] = None,
+) -> str:
+    """ASCII Gantt chart: one row per CPU, one letter per task.
+
+    Tasks are assigned letters a, b, c, ... by first appearance; '.' is
+    idle.  ``names`` (pid -> task name) feeds the legend.
+    """
+    if width < 10:
+        raise ValueError("width too small")
+    span = timeline.t_end - timeline.t_start
+    if span <= 0:
+        raise ValueError("empty timeline window")
+    all_cpus = sorted({iv.cpu for iv in timeline.intervals})
+    if cpus is not None:
+        all_cpus = [c for c in all_cpus if c in set(cpus)]
+
+    letters: Dict[int, str] = {}
+
+    def letter(pid: int) -> str:
+        if pid not in letters:
+            alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+            letters[pid] = alphabet[len(letters) % len(alphabet)]
+        return letters[pid]
+
+    lines: List[str] = []
+    for cpu in all_cpus:
+        row = ["."] * width
+        for iv in timeline.for_cpu(cpu):
+            lo = int((iv.start - timeline.t_start) / span * width)
+            hi = max(lo + 1, int((iv.end - timeline.t_start) / span * width))
+            ch = letter(iv.pid)
+            for i in range(lo, min(hi, width)):
+                row[i] = ch
+        lines.append(f"cpu{cpu:<3}|{''.join(row)}|")
+    legend = []
+    for pid, ch in sorted(letters.items(), key=lambda kv: kv[1]):
+        name = names.get(pid, f"pid{pid}") if names else f"pid{pid}"
+        legend.append(f"{ch}={name}")
+    lines.append("legend: " + "  ".join(legend))
+    lines.append(
+        f"window: [{timeline.t_start}us, {timeline.t_end}us] "
+        f"({span / 1000:.1f} ms)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Application models.
+
+The paper's workload is the MPI NAS Parallel Benchmarks: SPMD programs with
+"a cyclic alternation between a computing phase ... and a synchronization
+phase" (§II).  This package models them at that granularity:
+
+* :mod:`repro.apps.spmd` — phase programs (compute / synchronize / blocking
+  I/O) and builders for the iterate-and-barrier structure;
+* :mod:`repro.apps.mpi` — the runtime coordinating *n* rank tasks through a
+  program: barrier arrival bookkeeping, spin-wait vs blocking wait,
+  application-reported timing (NAS-style: the timed section excludes
+  initialization);
+* :mod:`repro.apps.nas` — per-benchmark granularity/working-set parameters
+  for cg/ep/ft/is/lu/mg in classes A and B, calibrated against Table II;
+* :mod:`repro.apps.mpiexec` — the ``perf → chrt → mpiexec → ranks`` launcher
+  chain whose residual context switches and migrations the paper's §V
+  accounts for explicitly, plus the five scheduling modes the paper
+  discusses (stock CFS, nice, RT, pinned affinity, HPC class).
+"""
+
+from repro.apps.spmd import Phase, PhaseKind, Program
+from repro.apps.mpi import MpiApplication, AppStats
+from repro.apps.nas import NasSpec, nas_spec, nas_program, NAS_BENCHMARKS
+from repro.apps.mpiexec import LaunchMode, MpiJob, JobResult
+from repro.apps.hybrid import HybridApplication, HybridStats
+from repro.apps.workloads import (
+    bulk_synchronous,
+    irregular_bsp,
+    parameter_sweep_batch,
+    pipeline,
+    stencil_with_checkpoints,
+)
+
+__all__ = [
+    "Phase",
+    "PhaseKind",
+    "Program",
+    "MpiApplication",
+    "AppStats",
+    "NasSpec",
+    "nas_spec",
+    "nas_program",
+    "NAS_BENCHMARKS",
+    "LaunchMode",
+    "MpiJob",
+    "JobResult",
+    "HybridApplication",
+    "HybridStats",
+    "bulk_synchronous",
+    "irregular_bsp",
+    "parameter_sweep_batch",
+    "pipeline",
+    "stencil_with_checkpoints",
+]

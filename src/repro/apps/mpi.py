@@ -1,0 +1,368 @@
+"""The MPI runtime model: ranks, collectives, wait modes, app timing.
+
+:class:`MpiApplication` drives *n* rank tasks through a
+:class:`~repro.apps.spmd.Program` on a kernel:
+
+* **compute** phases become scheduler segments (with per-rank jitter and the
+  per-run condition factor);
+* **sync** phases implement collective semantics: the collective completes
+  ``latency`` µs after the *last* arrival — the mechanism by which one
+  delayed rank stalls the whole application (the paper's Fig. 1);
+* early arrivers **spin** in the MPI progress loop by default (they hold
+  their CPU; under CFS the loop's ``sched_yield`` makes them preemptable by
+  daemons, under the HPC/RT classes it does not — §V's context-switch
+  asymmetry between Table Ia and Ib), or **block** if the phase says so;
+* **blockio** phases sleep the rank for an exponential service time.
+
+Timing is NAS-style: :attr:`AppStats.app_time` spans the release of the
+``timer_start`` collective to the release of the ``timer_stop`` collective.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import SchedPolicy, Task, TaskState
+from repro.apps.spmd import Phase, PhaseKind, Program
+
+__all__ = ["AppStats", "MpiApplication"]
+
+
+@dataclass
+class AppStats:
+    """Observed behaviour of one application run."""
+
+    started_at: Optional[int] = None
+    finished_at: Optional[int] = None
+    timer_started_at: Optional[int] = None
+    timer_stopped_at: Optional[int] = None
+    ranks_exited: int = 0
+
+    @property
+    def app_time(self) -> Optional[int]:
+        """The application's own reported (timed-section) duration, µs."""
+        if self.timer_started_at is None or self.timer_stopped_at is None:
+            return None
+        return self.timer_stopped_at - self.timer_started_at
+
+    @property
+    def wall_time(self) -> Optional[int]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class _RankState:
+    __slots__ = ("index", "task", "pos")
+
+    def __init__(self, index: int, task: Task) -> None:
+        self.index = index
+        self.task = task
+        #: Position in the unrolled phase list (the phase being executed).
+        self.pos = 0
+
+
+class MpiApplication:
+    """One SPMD application instance on one kernel."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        program: Program,
+        nprocs: int,
+        *,
+        cold_speed: Optional[float] = None,
+        rewarm_scale: float = 1.0,
+        rng_label: str = "app",
+        on_complete: Optional[Callable[["MpiApplication"], None]] = None,
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError("need at least one rank")
+        self.kernel = kernel
+        self.program = program
+        self.nprocs = nprocs
+        self.cold_speed = cold_speed
+        self.rewarm_scale = rewarm_scale
+        self.rng_label = rng_label
+        self.on_complete = on_complete
+        self.stats = AppStats()
+        self.ranks: List[_RankState] = []
+        #: sync phase position -> set of arrived rank indices
+        self._arrivals: Dict[int, Set[int]] = {}
+        #: Cross-node collective hook: called as fn(app, sync_pos) when all
+        #: *local* ranks arrived.  Return True to take over the release (the
+        #: multi-node coordinator schedules app._release itself once every
+        #: node arrived); False/None keeps single-node semantics.
+        self.collective_bridge = None
+        #: Per-run condition factor applied to all compute work.
+        self._run_factor = 1.0
+        if program.run_jitter_sigma > 0:
+            self._run_factor = self.kernel.sim.rng.lognormal(
+                f"{rng_label}.runjitter", 0.0, program.run_jitter_sigma
+            )
+
+    # -------------------------------------------------------------- launch
+
+    def launch(
+        self,
+        parent: Optional[Task] = None,
+        *,
+        policy: Optional[str] = None,
+        rt_priority: int = 0,
+        nice: int = 0,
+        pin: bool = False,
+        pin_cpus: Optional[List[int]] = None,
+    ) -> None:
+        """Fork all rank tasks at once (children of *parent*).
+
+        Convenience for tests and simple drivers; the launcher chain uses
+        :meth:`spawn_rank` with real inter-fork gaps (mpiexec blocks on pipe
+        setup between forks, which matters for fork placement).
+
+        ``policy`` overrides inheritance (used by the RT/nice modes); ``pin``
+        binds rank *i* to CPU *i* (the §IV static-affinity baseline)."""
+        self.begin_launch()
+        for i in range(self.nprocs):
+            self.spawn_rank(
+                i, parent, policy=policy, rt_priority=rt_priority, nice=nice,
+                pin=pin, pin_cpus=pin_cpus,
+            )
+
+    def begin_launch(self) -> None:
+        if self.ranks:
+            raise RuntimeError("application already launched")
+        first = self.program.phases[0]
+        if first.kind != PhaseKind.COMPUTE:
+            raise ValueError("programs must start with a compute phase")
+        self.stats.started_at = self.kernel.now
+
+    def spawn_rank(
+        self,
+        index: int,
+        parent: Optional[Task] = None,
+        *,
+        policy: Optional[str] = None,
+        rt_priority: int = 0,
+        nice: int = 0,
+        pin: bool = False,
+        pin_cpus: Optional[List[int]] = None,
+    ) -> Task:
+        """Fork rank *index* (ranks must be spawned in order).
+
+        ``pin`` binds rank *i* to CPU *i* (the §IV default binding);
+        ``pin_cpus`` gives an explicit rank→CPU map instead (e.g. the
+        SMT-0 threads only, for Mann-&-Mittal-style sequestration)."""
+        if index != len(self.ranks):
+            raise ValueError(f"ranks must spawn in order; expected {len(self.ranks)}")
+        if index >= self.nprocs:
+            raise ValueError("all ranks already spawned")
+        first = self.program.phases[0]
+        kwargs = {}
+        if policy is not None:
+            kwargs["policy"] = policy
+            kwargs["rt_priority"] = rt_priority
+        if pin_cpus is not None:
+            if len(pin_cpus) < self.nprocs:
+                raise ValueError("pin_cpus must cover every rank")
+            kwargs["affinity"] = frozenset({pin_cpus[index]})
+        elif pin:
+            kwargs["affinity"] = frozenset({index % self.kernel.machine.n_cpus})
+        task = self.kernel.spawn(
+            f"{self.program.name}.r{index}",
+            parent=parent,
+            nice=nice,
+            work=self._draw_work(first, index),
+            on_segment_end=lambda: None,
+            **kwargs,
+        )
+        rank = _RankState(index, task)
+        task.user_data = rank
+        if task.warmth is not None:
+            if self.cold_speed is not None:
+                task.warmth.cold_speed = self.cold_speed
+            task.warmth.rewarm_scale = self.rewarm_scale
+        task.on_segment_end = lambda r=rank: self._segment_done(r)
+        self.ranks.append(rank)
+        # fork is immediately followed by exec'ing the benchmark binary,
+        # which gives the stock kernel a second (SD_BALANCE_EXEC) placement.
+        self.kernel.sched_exec(task)
+        return task
+
+    # ---------------------------------------------------------- progression
+
+    def _draw_work(self, phase: Phase, rank_index: int) -> int:
+        work = phase.work * self._run_factor
+        if phase.jitter_sigma > 0:
+            work *= self.kernel.sim.rng.lognormal(
+                f"{self.rng_label}.jitter", 0.0, phase.jitter_sigma
+            )
+        return max(1, int(work))
+
+    def _segment_done(self, rank: _RankState) -> None:
+        """The rank finished the CPU part of its current phase."""
+        phase = self.program.phases[rank.pos]
+        if phase.kind == PhaseKind.COMPUTE:
+            self._advance(rank)
+        elif phase.kind == PhaseKind.SYNC:
+            # The arrival-processing segment completed: register arrival.
+            self._arrive(rank, rank.pos)
+        else:  # pragma: no cover - blockio is driven by _advance directly
+            raise AssertionError("blockio phases have no compute segment")
+
+    def _advance(self, rank: _RankState) -> None:
+        """Move the rank to its next phase.  Called with the rank's task
+        RUNNING (from a segment callback) or SLEEPING (from a wake path)."""
+        rank.pos += 1
+        if rank.pos >= len(self.program.phases):
+            self._rank_exit(rank)
+            return
+        phase = self.program.phases[rank.pos]
+        task = rank.task
+        if phase.kind == PhaseKind.COMPUTE:
+            self.kernel.set_segment(
+                task, self._draw_work(phase, rank.index),
+                lambda r=rank: self._segment_done(r),
+            )
+            if task.state == TaskState.SLEEPING:
+                self.kernel.wake(task)
+        elif phase.kind == PhaseKind.SYNC:
+            # Arrival costs a sliver of CPU (pack/progress the collective).
+            self.kernel.set_segment(
+                task, max(1, phase.arrival_cost),
+                lambda r=rank: self._segment_done(r),
+            )
+            if task.state == TaskState.SLEEPING:
+                self.kernel.wake(task)
+        elif phase.kind == PhaseKind.BLOCKIO:
+            # Reach the CPU, issue the syscall (a sliver of work), block.
+            self.kernel.set_segment(
+                task, 5, lambda r=rank, p=phase: self._block_io(r, p)
+            )
+            if task.state == TaskState.SLEEPING:
+                self.kernel.wake(task)
+
+    def _block_io(self, rank: _RankState, phase: Phase) -> None:
+        """Called with the rank RUNNING (from the syscall-issue segment):
+        sleep for the service time, then advance."""
+        task = rank.task
+        wait = max(
+            1,
+            int(
+                self.kernel.sim.rng.exponential(
+                    f"{self.rng_label}.io", phase.wait_mean
+                )
+            ),
+        )
+        self.kernel.block(task)
+        self.kernel.sim.after(
+            wait,
+            lambda r=rank: self._advance(r),
+            priority=2,
+            label=f"io:{task.name}",
+        )
+
+    # ------------------------------------------------------------ sync glue
+
+    def _arrive(self, rank: _RankState, sync_pos: int) -> None:
+        arrived = self._arrivals.setdefault(sync_pos, set())
+        arrived.add(rank.index)
+        phase = self.program.phases[sync_pos]
+        if len(arrived) == self.nprocs:
+            # Last local arrival: hand off to the cross-node coordinator if
+            # one is attached, else release after the collective latency.
+            bridged = (
+                self.collective_bridge is not None
+                and self.collective_bridge(self, sync_pos)
+            )
+            if not bridged:
+                self.kernel.sim.after(
+                    max(1, phase.latency),
+                    lambda pos=sync_pos: self._release(pos),
+                    priority=2,
+                    label=f"sync:{self.program.name}@{sync_pos}",
+                )
+            # The last arriver waits out the latency like everyone else.
+        if phase.wait_mode == "spin":
+            self.kernel.set_spin(rank.task)
+            # Spin-then-block (the MPI library default): if the collective
+            # has not completed within the spin budget, yield the CPU for
+            # real.  On a quiet HPL node every rank arrives within the
+            # budget and this never fires; on a noisy stock node it fires
+            # whenever one rank was delayed — idling CPUs and inviting the
+            # balancer in, which is exactly the coupling §III measures.
+            self.kernel.sim.after(
+                phase.spin_threshold,
+                lambda r=rank, pos=sync_pos: self._spin_timeout(r, pos),
+                priority=4,
+                label=f"spin-to:{rank.task.name}",
+            )
+        else:
+            self.kernel.block(rank.task)
+
+    def _spin_timeout(self, rank: _RankState, sync_pos: int) -> None:
+        if sync_pos not in self._arrivals or rank.pos != sync_pos:
+            return  # collective already released
+        task = rank.task
+        if task.state == TaskState.RUNNING and task.spinning:
+            self.kernel.block(task)
+        # If the spinner was preempted it holds no CPU anyway; leave it
+        # queued — it will block on its own next time it spins (not worth
+        # modelling another hop).
+
+    def _release(self, sync_pos: int) -> None:
+        phase = self.program.phases[sync_pos]
+        now = self.kernel.now
+        if phase.timer_start:
+            self.stats.timer_started_at = now
+        if phase.timer_stop:
+            self.stats.timer_stopped_at = now
+        del self._arrivals[sync_pos]
+        for rank in self.ranks:
+            if rank.pos != sync_pos:  # pragma: no cover - lockstep invariant
+                raise AssertionError(
+                    f"rank {rank.index} at {rank.pos}, expected {sync_pos}"
+                )
+        for rank in self.ranks:
+            self._advance(rank)
+
+    # ------------------------------------------------------------- lifetime
+
+    def _rank_exit(self, rank: _RankState) -> None:
+        task = rank.task
+        if task.state == TaskState.RUNNING:
+            self.kernel.exit(task)
+            self._account_exit()
+        elif task.state == TaskState.SLEEPING:
+            # Release reached it inside a blocking wait: wake it for a hair
+            # of teardown work, then exit for real.
+            self.kernel.set_segment(task, 10, lambda r=rank: self._final_exit(r))
+            self.kernel.wake(task)
+        elif task.state == TaskState.RUNNABLE:
+            # Preempted mid-spin at the final collective: it exits as soon
+            # as it gets the CPU back.
+            self.kernel.set_segment(task, 10, lambda r=rank: self._final_exit(r))
+        else:  # pragma: no cover
+            raise AssertionError(f"exit from unexpected state {task.state}")
+
+    def _final_exit(self, rank: _RankState) -> None:
+        self.kernel.exit(rank.task)
+        self._account_exit()
+
+    def _account_exit(self) -> None:
+        self.stats.ranks_exited += 1
+        if self.stats.ranks_exited == self.nprocs:
+            self.stats.finished_at = self.kernel.now
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+    # ------------------------------------------------------------- reports
+
+    @property
+    def done(self) -> bool:
+        return self.stats.ranks_exited == self.nprocs
+
+    def rank_tasks(self) -> List[Task]:
+        return [r.task for r in self.ranks]

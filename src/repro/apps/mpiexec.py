@@ -1,0 +1,292 @@
+"""The launcher chain: ``perf → chrt → mpiexec → ranks``.
+
+§V accounts for HPL's residual counters through this chain: "During the
+initialization there is one migration for each MPI task as it is created
+(for a total of eight migrations); one migration occurs when mpiexec is
+created; finally, one migration is caused by chrt when mpiexec returns
+control, and at least one is created by the perf Linux tool".  We model each
+link as a real task so those counters emerge rather than being asserted:
+
+* ``perf`` — a CFS task that opens a system-wide measurement window, forks
+  ``chrt``, sleeps until the chain finishes, then reads the counters (its
+  own post-application wakeup contributing the final migrations, exactly as
+  footnote 7 describes);
+* ``chrt`` — the paper's modified ``chrt``: it moves *itself* into the mode's
+  scheduling class and forks ``mpiexec``, which inherits the class;
+* ``mpiexec`` — forks the ranks (policy inherited) and waits.
+
+:class:`LaunchMode` enumerates the five scheduling regimes §IV discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.units import msecs, usecs
+from repro.kernel.kernel import Kernel
+from repro.kernel.perf import PerfReading, PerfSession
+from repro.kernel.task import SchedPolicy, Task
+from repro.apps.mpi import AppStats, MpiApplication
+from repro.apps.spmd import Program
+
+__all__ = ["LaunchMode", "JobResult", "MpiJob"]
+
+
+class LaunchMode:
+    """The scheduling regimes compared in the paper."""
+
+    #: Stock CFS, no tuning (the Table Ia / Table II "Std. Linux" column).
+    CFS = "cfs"
+    #: Stock CFS with reniced ranks (§IV's "nice is not enough" argument).
+    NICE = "nice"
+    #: SCHED_FIFO ranks (Fig. 4).
+    RT = "rt"
+    #: Stock CFS with rank *i* bound to CPU *i* (§IV static affinity).
+    PINNED = "pinned"
+    #: The HPC class (requires the HPL kernel variant).
+    HPC = "hpc"
+
+    ALL = (CFS, NICE, RT, PINNED, HPC)
+
+
+@dataclass
+class JobResult:
+    """Everything one benchmark execution reports."""
+
+    mode: str
+    program_name: str
+    nprocs: int
+    #: NAS-style application-reported time (timed section), µs.
+    app_time: int
+    #: Launcher-to-launcher wall time, µs.
+    wall_time: int
+    #: System-wide perf window (includes launcher residue, like the paper).
+    perf: PerfReading
+    app_stats: AppStats
+    #: Sum of per-rank migration counts (subset of perf.cpu_migrations).
+    rank_migrations: int
+    rank_involuntary_switches: int
+
+    @property
+    def app_time_s(self) -> float:
+        return self.app_time / 1_000_000
+
+    @property
+    def context_switches(self) -> int:
+        return self.perf.context_switches
+
+    @property
+    def cpu_migrations(self) -> int:
+        return self.perf.cpu_migrations
+
+
+class MpiJob:
+    """One launch of an MPI program under a scheduling mode."""
+
+    #: Setup/teardown CPU costs of the chain links (µs).
+    PERF_SETUP = msecs(2)
+    PERF_TEARDOWN = msecs(2)
+    CHRT_SETUP = usecs(500)
+    CHRT_TEARDOWN = usecs(300)
+    MPIEXEC_SETUP = msecs(2)
+    MPIEXEC_TEARDOWN = msecs(1)
+    #: Sleep between rank forks (pipe/stdio setup per child).
+    FORK_GAP = usecs(300)
+    #: CPU cost of one fork in mpiexec.
+    FORK_COST = usecs(120)
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        program: Program,
+        nprocs: int,
+        *,
+        mode: str = LaunchMode.CFS,
+        rt_priority: int = 50,
+        nice_value: int = -15,
+        cold_speed: Optional[float] = None,
+        rewarm_scale: float = 1.0,
+        on_complete: Optional[Callable[["JobResult"], None]] = None,
+    ) -> None:
+        if mode not in LaunchMode.ALL:
+            raise ValueError(f"unknown launch mode {mode!r}")
+        if mode == LaunchMode.HPC and kernel.config.variant != "hpl":
+            raise ValueError("the HPC mode needs the HPL kernel variant")
+        self.kernel = kernel
+        self.program = program
+        self.nprocs = nprocs
+        self.mode = mode
+        self.rt_priority = rt_priority
+        self.nice_value = nice_value
+        self.on_complete = on_complete
+        self.app = MpiApplication(
+            kernel,
+            program,
+            nprocs,
+            cold_speed=cold_speed,
+            rewarm_scale=rewarm_scale,
+            rng_label=f"app.{program.name}",
+            on_complete=self._app_done,
+        )
+        self.result: Optional[JobResult] = None
+        self._session: Optional[PerfSession] = None
+        self._perf_task: Optional[Task] = None
+        self._chrt_task: Optional[Task] = None
+        self._mpiexec_task: Optional[Task] = None
+        self._started_at: Optional[int] = None
+        self._start_requested = False
+
+    # --------------------------------------------------------------- launch
+
+    def start(self, at: int = 0) -> None:
+        """Schedule the launch at absolute simulated time *at*."""
+        if self._start_requested:
+            raise RuntimeError("job already started")
+        self._start_requested = True
+        self.kernel.sim.at(
+            max(at, self.kernel.now), self._launch_perf, label="job:launch"
+        )
+
+    def _launch_perf(self) -> None:
+        self._started_at = self.kernel.now
+        task = self.kernel.spawn(
+            "perf",
+            policy=SchedPolicy.NORMAL,
+            work=self.PERF_SETUP,
+            on_segment_end=lambda: None,
+        )
+        task.on_segment_end = self._perf_ready
+        self._perf_task = task
+
+    def _perf_ready(self) -> None:
+        # perf opens the system-wide window, then forks chrt and waits.
+        self._session = self.kernel.perf_session()
+        self._session.open(self.kernel.now)
+        chrt = self.kernel.spawn(
+            "chrt",
+            policy=SchedPolicy.NORMAL,
+            parent=self._perf_task,
+            work=self.CHRT_SETUP,
+            on_segment_end=lambda: None,
+        )
+        chrt.on_segment_end = self._chrt_ready
+        self._chrt_task = chrt
+        self.kernel.sched_exec(chrt)
+        self.kernel.block_soon(self._perf_task, lambda: None)
+
+    def _chrt_ready(self) -> None:
+        chrt = self._chrt_task
+        assert chrt is not None
+        # The modified chrt moves *itself* into the target class; mpiexec
+        # and the ranks inherit it across fork (§V footnote 6).
+        if self.mode == LaunchMode.HPC:
+            self.kernel.sched_setscheduler(chrt, SchedPolicy.HPC)
+        elif self.mode == LaunchMode.RT:
+            self.kernel.sched_setscheduler(chrt, SchedPolicy.FIFO, self.rt_priority)
+        mpiexec = self.kernel.spawn(
+            "mpiexec",
+            parent=chrt,
+            work=self.MPIEXEC_SETUP,
+            on_segment_end=lambda: None,
+        )
+        mpiexec.on_segment_end = self._mpiexec_ready
+        self._mpiexec_task = mpiexec
+        self.kernel.sched_exec(mpiexec)
+        self.kernel.block_soon(chrt, lambda: None)
+
+    def _mpiexec_ready(self) -> None:
+        # mpiexec forks ranks one at a time, blocking briefly between forks
+        # (stdio/pipe setup) — so at each fork the placer sees the true HPC
+        # load, and mpiexec itself spends initialization asleep (the "two or
+        # three tasks per CPU in special cases" window of §IV).
+        self.app.begin_launch()
+        self._fork_one()
+
+    def _rank_kwargs(self) -> dict:
+        kwargs = {}
+        if self.mode == LaunchMode.NICE:
+            kwargs["nice"] = self.nice_value
+        elif self.mode == LaunchMode.PINNED:
+            kwargs["pin"] = True
+        return kwargs
+
+    def _fork_one(self) -> None:
+        mpiexec = self._mpiexec_task
+        assert mpiexec is not None
+        index = len(self.app.ranks)
+        self.app.spawn_rank(index, mpiexec, **self._rank_kwargs())
+        if index + 1 < self.nprocs:
+            self.kernel.block_soon(
+                mpiexec,
+                lambda: self.kernel.sim.after(
+                    self.FORK_GAP, self._fork_resume, priority=2, label="mpiexec:fork"
+                ),
+            )
+        else:
+            # All ranks forked: waitpid until the application finishes.
+            self.kernel.block_soon(mpiexec, lambda: None)
+
+    def _fork_resume(self) -> None:
+        mpiexec = self._mpiexec_task
+        assert mpiexec is not None
+        self.kernel.set_segment(mpiexec, self.FORK_COST, self._fork_one)
+        self.kernel.wake(mpiexec)
+
+    # ------------------------------------------------------------- teardown
+
+    def _wake_with(self, task: Task, work: int, on_end) -> None:
+        """Wake *task* into a teardown segment; if it has not finished
+        falling asleep yet (block_soon pending), retry shortly."""
+        from repro.kernel.task import TaskState
+
+        if task.state == TaskState.SLEEPING:
+            self.kernel.set_segment(task, work, on_end)
+            self.kernel.wake(task)
+        else:
+            self.kernel.sim.after(
+                200, lambda: self._wake_with(task, work, on_end),
+                priority=2, label=f"job:wake-retry:{task.name}",
+            )
+
+    def _app_done(self, app: MpiApplication) -> None:
+        mpiexec = self._mpiexec_task
+        assert mpiexec is not None
+        self._wake_with(mpiexec, self.MPIEXEC_TEARDOWN, self._mpiexec_exit)
+
+    def _mpiexec_exit(self) -> None:
+        chrt = self._chrt_task
+        assert self._mpiexec_task is not None and chrt is not None
+        self.kernel.exit(self._mpiexec_task)
+        self._wake_with(chrt, self.CHRT_TEARDOWN, self._chrt_exit)
+
+    def _chrt_exit(self) -> None:
+        perf = self._perf_task
+        assert self._chrt_task is not None and perf is not None
+        self.kernel.exit(self._chrt_task)
+        self._wake_with(perf, self.PERF_TEARDOWN, self._perf_exit)
+
+    def _perf_exit(self) -> None:
+        assert self._perf_task is not None and self._session is not None
+        reading = self._session.close(self.kernel.now)
+        self.kernel.exit(self._perf_task)
+        stats = self.app.stats
+        app_time = stats.app_time
+        if app_time is None:  # pragma: no cover - programs carry markers
+            app_time = stats.wall_time or 0
+        assert self._started_at is not None
+        self.result = JobResult(
+            mode=self.mode,
+            program_name=self.program.name,
+            nprocs=self.nprocs,
+            app_time=app_time,
+            wall_time=self.kernel.now - self._started_at,
+            perf=reading,
+            app_stats=stats,
+            rank_migrations=sum(t.nr_migrations for t in self.app.rank_tasks()),
+            rank_involuntary_switches=sum(
+                t.nr_involuntary_switches for t in self.app.rank_tasks()
+            ),
+        )
+        if self.on_complete is not None:
+            self.on_complete(self.result)

@@ -1,0 +1,217 @@
+"""Command-line interface: ``hpl-repro``.
+
+Subcommands::
+
+    hpl-repro list                       # experiments and benchmarks
+    hpl-repro run ep A --regime hpl      # one benchmark execution
+    hpl-repro campaign ep A --regime stock -n 100
+    hpl-repro experiment tab2 -n 50      # regenerate a paper artifact
+    hpl-repro topology                   # show the js22 model
+
+Every command prints plain text suitable for piping into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.stats import summarize
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hpl-repro",
+        description=(
+            "Reproduction of 'Designing OS for HPC Applications: Scheduling' "
+            "(CLUSTER 2010): simulated HPL scheduler vs stock Linux."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and benchmarks")
+    sub.add_parser("topology", help="describe the evaluation machine model")
+
+    run = sub.add_parser("run", help="run one benchmark execution")
+    run.add_argument("bench", help="NAS benchmark name (cg, ep, ft, is, lu, mg)")
+    run.add_argument("klass", help="data-set class (A or B)")
+    run.add_argument("--regime", default="stock",
+                     choices=["stock", "nice", "rt", "pinned", "hpl"])
+    run.add_argument("--seed", type=int, default=0)
+
+    camp = sub.add_parser("campaign", help="run N repetitions and summarize")
+    camp.add_argument("bench")
+    camp.add_argument("klass")
+    camp.add_argument("--regime", default="stock",
+                      choices=["stock", "nice", "rt", "pinned", "hpl"])
+    camp.add_argument("-n", "--runs", type=int, default=50)
+    camp.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    exp.add_argument("exp_id", help="fig1 fig2 fig3 fig4 tab1a tab1b tab2 policy "
+                                    "resonance multinode decompose")
+    exp.add_argument("-n", "--runs", type=int, default=50)
+    exp.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="run a sensitivity sweep")
+    sweep.add_argument("which", choices=["noise", "smt", "spin"])
+    sweep.add_argument("-n", "--runs", type=int, default=8)
+    sweep.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="generate the full EXPERIMENTS.md paper-vs-measured report"
+    )
+    report.add_argument("-n", "--runs", type=int, default=40)
+    report.add_argument("--seed", type=int, default=7)
+
+    export = sub.add_parser(
+        "export", help="export the ep.A.8 figures as SVG + CSV into a directory"
+    )
+    export.add_argument("out_dir")
+    export.add_argument("-n", "--runs", type=int, default=60)
+    export.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.apps.nas import NAS_BENCHMARKS
+    from repro.experiments.registry import list_experiments
+
+    print("Experiments (hpl-repro experiment <id>):")
+    for exp in list_experiments():
+        print(f"  {exp.exp_id:<10} {exp.paper_artifact:<18} {exp.description}")
+    print()
+    print("Benchmarks (hpl-repro run <bench> <class>):")
+    for (name, klass), spec in sorted(NAS_BENCHMARKS.items()):
+        print(
+            f"  {spec.label:<10} target {spec.target_time / 1e6:7.2f}s  "
+            f"{spec.n_iters:>4} iterations"
+        )
+    return 0
+
+
+def _cmd_topology() -> int:
+    from repro.topology.presets import power6_js22
+
+    machine = power6_js22()
+    print(machine.describe())
+    for chip in machine.chips:
+        print(f"  chip {chip.chip_id}:")
+        for core in chip.cores:
+            threads = ", ".join(f"cpu{t.cpu_id}" for t in core.threads)
+            print(f"    core {core.core_id}: {threads}")
+    print("  caches:")
+    for level in machine.cache.levels:
+        print(
+            f"    {level.name}: {level.size_kib} KiB, shared per {level.shared_by}, "
+            f"{level.latency_ns:.1f} ns"
+        )
+    print(f"  SMT throughput factors: {machine.smt_throughput}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_nas
+
+    result = run_nas(args.bench, args.klass, args.regime, seed=args.seed)
+    print(f"{result.program_name} under {args.regime} (seed {args.seed}):")
+    print(f"  execution time : {result.app_time_s:.3f} s")
+    print(f"  wall time      : {result.wall_time / 1e6:.3f} s")
+    print(f"  cpu-migrations : {result.cpu_migrations}")
+    print(f"  context-switches: {result.context_switches}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_nas_campaign
+
+    campaign = run_nas_campaign(
+        args.bench, args.klass, args.regime, args.runs, base_seed=args.seed
+    )
+    times = summarize(campaign.app_times_s())
+    migs = summarize([float(v) for v in campaign.migrations()])
+    switches = summarize([float(v) for v in campaign.context_switches()])
+    print(f"{campaign.label} under {args.regime}, {args.runs} runs:")
+    print(
+        f"  time  min {times.minimum:.2f}  avg {times.mean:.2f}  "
+        f"max {times.maximum:.2f}  var {times.variation:.2f}%"
+    )
+    print(
+        f"  migr  min {migs.minimum:.0f}  avg {migs.mean:.2f}  max {migs.maximum:.0f}"
+    )
+    print(
+        f"  ctxsw min {switches.minimum:.0f}  avg {switches.mean:.2f}  "
+        f"max {switches.maximum:.0f}"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import (
+        noise_intensity_sweep,
+        smt_factor_sweep,
+        spin_threshold_sweep,
+    )
+
+    runner = {
+        "noise": noise_intensity_sweep,
+        "smt": smt_factor_sweep,
+        "spin": spin_threshold_sweep,
+    }[args.which]
+    result = runner(n_runs=args.runs, base_seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    print(generate_report(args.runs, args.seed))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_figures
+
+    written = export_figures(args.out_dir, n_runs=args.runs, seed=args.seed)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import get_experiment
+
+    exp = get_experiment(args.exp_id)
+    result = exp.run(args.runs, args.seed)
+    print(result.render())  # type: ignore[attr-defined]
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "topology":
+        return _cmd_topology()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Cluster-scale extrapolation: noise resonance and Amdahl utilities.
+
+§II argues the single-node effects matter because they *resonate* at scale:
+"When scaling to thousands of nodes, the probability that in each computing
+phase at least one node is slowed by some long kernel activity approaches
+1.0."  This package turns the single-node simulator's measured per-phase
+delays into cluster-scale predictions:
+
+* :mod:`repro.cluster.resonance` — bootstrap and analytic scaling of
+  per-phase delay maxima across N nodes, including the Petrini-style
+  spare-core experiment (leaving one CPU to the OS can *win* at scale);
+* :mod:`repro.cluster.amdahl` — the speedup accounting the paper leans on
+  when selecting benchmarks ("application speedup is limited by the amount
+  of time spent in synchronization", §III).
+"""
+
+from repro.cluster.amdahl import amdahl_speedup, efficiency, serial_fraction_from_speedup
+from repro.cluster.multinode import ClusterJob, ClusterResult, run_cluster_job
+from repro.cluster.resonance import (
+    DelayProfile,
+    ResonancePoint,
+    analytic_resonance,
+    measure_phase_delays,
+    resonance_curve,
+    spare_core_comparison,
+)
+
+__all__ = [
+    "amdahl_speedup",
+    "efficiency",
+    "serial_fraction_from_speedup",
+    "DelayProfile",
+    "ResonancePoint",
+    "analytic_resonance",
+    "measure_phase_delays",
+    "resonance_curve",
+    "spare_core_comparison",
+    "ClusterJob",
+    "ClusterResult",
+    "run_cluster_job",
+]

@@ -1,0 +1,36 @@
+"""Amdahl's-law accounting (§III's benchmark-selection argument)."""
+
+from __future__ import annotations
+
+__all__ = ["amdahl_speedup", "efficiency", "serial_fraction_from_speedup"]
+
+
+def amdahl_speedup(n: int, serial_fraction: float) -> float:
+    """Speedup on *n* processors with the given serial fraction.
+
+    ``S(n) = 1 / (s + (1 - s)/n)`` — the reason the paper picks ``ep`` (the
+    least synchronization) to expose OS noise: noise is a *serial-fraction
+    injection*, so low-s applications show it most clearly.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial_fraction must be in [0, 1]")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n)
+
+
+def efficiency(n: int, serial_fraction: float) -> float:
+    """Parallel efficiency ``S(n)/n``."""
+    return amdahl_speedup(n, serial_fraction) / n
+
+
+def serial_fraction_from_speedup(n: int, speedup: float) -> float:
+    """Invert Amdahl: the effective serial fraction implied by an observed
+    speedup on *n* processors.  Useful to express measured OS noise as an
+    equivalent serial fraction."""
+    if n < 2:
+        raise ValueError("need n >= 2 to infer a serial fraction")
+    if not 0.0 < speedup <= n:
+        raise ValueError(f"speedup must be in (0, {n}]")
+    # speedup = 1 / (s + (1-s)/n)  =>  s = (n/speedup - 1) / (n - 1)
+    return (n / speedup - 1.0) / (n - 1.0)

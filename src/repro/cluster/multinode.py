@@ -1,0 +1,217 @@
+"""True multi-node co-simulation.
+
+:mod:`repro.cluster.resonance` *extrapolates* cluster behaviour from one
+node's delay profile.  This module instead *simulates* a small cluster
+directly: N independent node kernels (each with its own machine, scheduler,
+and daemon population) share one simulated clock, and the application's
+collectives synchronize across all of them — every phase genuinely waits for
+the globally slowest rank.  It exists to
+
+* demonstrate §II's noise-resonance mechanism end to end (one job, many
+  nodes, per-phase max-coupling), and
+* validate the bootstrap extrapolation: the co-simulated slowdown at small N
+  should track :func:`repro.cluster.resonance.resonance_curve`.
+
+Scale is bounded by simulation cost (every node's daemons tick), so this is
+for N up to a few dozen; the bootstrap covers the thousands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.units import msecs, secs
+from repro.sim.engine import Simulator
+from repro.topology.machine import Machine
+from repro.topology.presets import power6_js22
+from repro.kernel.daemons import DaemonSet, NoiseProfile, cluster_node_profile
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.task import SchedPolicy
+from repro.apps.mpi import MpiApplication
+from repro.apps.spmd import Program
+
+__all__ = ["NodeHandle", "ClusterJob", "ClusterResult", "run_cluster_job"]
+
+
+@dataclass
+class NodeHandle:
+    """One node's kernel, daemons, and application shard."""
+
+    index: int
+    kernel: Kernel
+    daemons: DaemonSet
+    app: MpiApplication
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of a multi-node run."""
+
+    n_nodes: int
+    nprocs_per_node: int
+    #: Globally-synchronized application time (timer window), µs.
+    app_time: int
+    #: Per-node rank statistics.
+    node_migrations: Tuple[int, ...]
+    node_involuntary_switches: Tuple[int, ...]
+
+    @property
+    def app_time_s(self) -> float:
+        return self.app_time / 1_000_000
+
+
+class ClusterJob:
+    """Runs one SPMD program across *n_nodes* co-simulated nodes.
+
+    All nodes share a :class:`Simulator`; each node gets its own
+    :class:`Kernel` (scheduler state is strictly per node) and its own
+    daemon population drawing from the shared RNG.  The program's SYNC
+    phases become *global* collectives through the MPI runtime's
+    ``collective_bridge``: a phase releases only after the last rank of the
+    last node arrived, plus the inter-node latency.
+
+    Pass ``machine_factories`` (one per node) for a heterogeneous cluster —
+    e.g. one half-speed node to study stragglers: with global collectives,
+    the whole job runs at the slowest node's pace, which is why the noise
+    the paper fights matters so much more at scale.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        n_nodes: int,
+        nprocs_per_node: int = 8,
+        regime: str = "stock",
+        seed: int = 0,
+        machine_factory: Callable[[], Machine] = power6_js22,
+        machine_factories: Optional[List[Callable[[], Machine]]] = None,
+        noise: Optional[NoiseProfile] = None,
+        internode_latency: int = 30,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if regime not in ("stock", "hpl", "rt"):
+            raise ValueError("regime must be stock, hpl, or rt")
+        self.program = program
+        self.n_nodes = n_nodes
+        self.nprocs_per_node = nprocs_per_node
+        self.regime = regime
+        self.internode_latency = internode_latency
+        self.sim = Simulator(seed)
+        self.nodes: List[NodeHandle] = []
+        self._sync_arrived: Dict[int, Set[int]] = {}
+        self._apps_done = 0
+        self.result: Optional[ClusterResult] = None
+
+        if machine_factories is not None and len(machine_factories) != n_nodes:
+            raise ValueError("machine_factories must have one entry per node")
+        profile = noise if noise is not None else cluster_node_profile()
+        for i in range(n_nodes):
+            config = (
+                KernelConfig.hpl() if regime == "hpl" else KernelConfig.stock()
+            )
+            factory = (
+                machine_factories[i] if machine_factories is not None
+                else machine_factory
+            )
+            kernel = Kernel(factory(), config, sim=self.sim)
+            daemons = DaemonSet(kernel, profile)
+            daemons.start()
+            app = MpiApplication(
+                kernel,
+                program,
+                nprocs_per_node,
+                rng_label=f"node{i}.app",
+                on_complete=self._node_done,
+            )
+            app.collective_bridge = (
+                lambda app_, pos, node=i: self._local_arrived(node, app_, pos)
+            )
+            self.nodes.append(NodeHandle(i, kernel, daemons, app))
+
+    # ---------------------------------------------------------- collectives
+
+    def _local_arrived(self, node: int, app: MpiApplication, sync_pos: int) -> bool:
+        arrived = self._sync_arrived.setdefault(sync_pos, set())
+        arrived.add(node)
+        if len(arrived) == self.n_nodes:
+            del self._sync_arrived[sync_pos]
+            phase = self.program.phases[sync_pos]
+            delay = max(1, phase.latency + self.internode_latency)
+            for handle in self.nodes:
+                self.sim.after(
+                    delay,
+                    lambda a=handle.app, pos=sync_pos: a._release(pos),
+                    priority=2,
+                    label=f"xsync:{sync_pos}",
+                )
+        return True  # we own the release in all cases
+
+    # ------------------------------------------------------------- lifetime
+
+    def _node_done(self, app: MpiApplication) -> None:
+        self._apps_done += 1
+        if self._apps_done == self.n_nodes:
+            self.sim.stop()
+
+    def run(self, *, start_at: int = msecs(50), horizon: Optional[int] = None) -> ClusterResult:
+        """Launch every node's ranks and run to completion."""
+        launch_kwargs = {}
+        if self.regime == "hpl":
+            launch_kwargs = {"policy": SchedPolicy.HPC}
+        elif self.regime == "rt":
+            launch_kwargs = {"policy": SchedPolicy.FIFO, "rt_priority": 50}
+
+        def launch_all() -> None:
+            for handle in self.nodes:
+                handle.app.launch(**launch_kwargs)
+
+        self.sim.at(start_at, launch_all, label="cluster:launch")
+        if horizon is None:
+            horizon = start_at + 400 * self.program.total_compute + secs(900)
+        self.sim.run_until(horizon)
+        if self._apps_done != self.n_nodes:
+            raise RuntimeError(
+                f"cluster job incomplete: {self._apps_done}/{self.n_nodes} nodes "
+                f"finished by t={horizon}"
+            )
+        # Timer windows are global (all nodes share the release instants).
+        stats = self.nodes[0].app.stats
+        app_time = stats.app_time
+        assert app_time is not None
+        self.result = ClusterResult(
+            n_nodes=self.n_nodes,
+            nprocs_per_node=self.nprocs_per_node,
+            app_time=app_time,
+            node_migrations=tuple(
+                sum(t.nr_migrations for t in h.app.rank_tasks()) for h in self.nodes
+            ),
+            node_involuntary_switches=tuple(
+                sum(t.nr_involuntary_switches for t in h.app.rank_tasks())
+                for h in self.nodes
+            ),
+        )
+        return self.result
+
+
+def run_cluster_job(
+    program: Program,
+    n_nodes: int,
+    *,
+    regime: str = "stock",
+    seed: int = 0,
+    nprocs_per_node: int = 8,
+    noise: Optional[NoiseProfile] = None,
+) -> ClusterResult:
+    """Convenience wrapper: build, run, return the result."""
+    job = ClusterJob(
+        program,
+        n_nodes=n_nodes,
+        nprocs_per_node=nprocs_per_node,
+        regime=regime,
+        seed=seed,
+        noise=noise,
+    )
+    return job.run()

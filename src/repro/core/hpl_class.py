@@ -1,0 +1,120 @@
+"""The HPL scheduling class.
+
+Quoting §IV: "Since HPC systems usually run at most one task per core or
+hardware thread, we expect to have one process in the HPC class of every CPU
+(maybe two or three in special cases such as initialization and
+finalization).  A complex algorithm to select the next task to run is not
+warranted.  We thus opt for a simple round-robin run queue."
+
+Properties implemented here:
+
+* plain FIFO deque per CPU, round-robin rotation with a generous timeslice
+  (only relevant in the rare >1-HPC-tasks-per-CPU window);
+* **no same-class wakeup preemption** — an HPC task runs until it blocks or
+  its RR slice expires; fairness among HPC tasks comes from rotation, not
+  priorities (all HPC tasks are equal peers of one application);
+* the *inter*-class guarantees (HPC beats CFS, loses to RT) are positional —
+  they come from where the kernel inserts this class in the class list, not
+  from any code here.  See :class:`repro.kernel.kernel.Kernel`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.units import msecs
+from repro.kernel.sched_class import ClassQueue, SchedClass
+from repro.kernel.task import SchedPolicy, Task
+
+__all__ = ["HplParams", "HplQueue", "HplClass"]
+
+
+@dataclass(frozen=True)
+class HplParams:
+    """HPL class tunables."""
+
+    #: Round-robin timeslice when several HPC tasks share a CPU (matches the
+    #: RT RR default; long on purpose — rotation is a corner case).
+    rr_timeslice: int = msecs(100)
+
+    def __post_init__(self) -> None:
+        if self.rr_timeslice <= 0:
+            raise ValueError("rr_timeslice must be positive")
+
+
+class HplQueue(ClassQueue):
+    """Per-CPU round-robin run queue of HPC tasks."""
+
+    def __init__(self, cpu_id: int) -> None:
+        super().__init__(cpu_id)
+        self._queue: deque = deque()
+
+    def queued_tasks(self) -> List[Task]:
+        return list(self._queue)
+
+    def push(self, task: Task, *, head: bool = False) -> None:
+        if head:
+            self._queue.appendleft(task)
+        else:
+            self._queue.append(task)
+        self.nr_running += 1
+
+    def pop(self) -> Optional[Task]:
+        if not self._queue:
+            return None
+        self.nr_running -= 1
+        return self._queue.popleft()
+
+    def remove(self, task: Task) -> None:
+        try:
+            self._queue.remove(task)
+        except ValueError:
+            raise ValueError(f"{task!r} not on HPC queue of cpu {self.cpu_id}") from None
+        self.nr_running -= 1
+
+
+class HplClass(SchedClass):
+    """The paper's HPC scheduling class."""
+
+    name = "hpc"
+    policies = (SchedPolicy.HPC,)
+    #: The stock balancer never touches HPC tasks; their placement is decided
+    #: once, at fork, by :class:`repro.core.hpl_balancer.HplForkPlacer`.
+    balanced = False
+
+    def __init__(self, params: HplParams = HplParams()) -> None:
+        self.params = params
+
+    def new_queue(self, cpu_id: int) -> HplQueue:
+        return HplQueue(cpu_id)
+
+    def enqueue(self, queue: HplQueue, task: Task, *, wakeup: bool) -> None:
+        queue.push(task)
+
+    def dequeue(self, queue: HplQueue, task: Task) -> None:
+        queue.remove(task)
+
+    def pick_next(self, queue: HplQueue) -> Optional[Task]:
+        task = queue.pop()
+        if task is not None:
+            task.slice_used = 0
+        return task
+
+    def put_prev(self, queue: HplQueue, task: Task) -> None:
+        # Round robin: an expired task goes to the tail; a task displaced by
+        # a higher class goes back to the head so rotation order is kept.
+        expired = task.slice_used >= self.params.rr_timeslice
+        queue.push(task, head=not expired)
+
+    def check_preempt(self, queue: HplQueue, curr: Task, woken: Task) -> bool:
+        # HPC peers never preempt each other on wakeup; rotation handles
+        # multi-task CPUs.  (The woken task still beats any *lower* class —
+        # the scheduler core handles cross-class preemption.)
+        return False
+
+    def task_slice(self, queue: HplQueue, task: Task) -> Optional[int]:
+        if queue.nr_running == 0:
+            return None  # the common case: one HPC task per CPU
+        return self.params.rr_timeslice

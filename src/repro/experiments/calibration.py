@@ -1,0 +1,82 @@
+"""Calibration self-check: does the clean model hit its anchors?
+
+The reproduction's only fitted absolute numbers are the NAS iteration works,
+solved so that a **clean** run (HPL kernel, quiet node) lands on the paper's
+Table II HPL-minimum column.  This module re-verifies that anchoring by
+actually running the simulator — catching any drift introduced by scheduler
+or model changes — and reports the residual per configuration.
+
+Used by ``tests/test_calibration.py`` and available from the examples as a
+one-call health check::
+
+    from repro.experiments.calibration import check_calibration
+    for row in check_calibration():
+        print(row.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.kernel.daemons import quiet_profile
+from repro.apps.nas import NAS_BENCHMARKS, nas_spec
+from repro.experiments.runner import run_nas
+
+__all__ = ["CalibrationRow", "check_calibration", "max_residual"]
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One configuration's anchor check."""
+
+    label: str
+    target_s: float
+    measured_s: float
+
+    @property
+    def residual(self) -> float:
+        """Relative error of the clean run vs the paper anchor."""
+        return (self.measured_s - self.target_s) / self.target_s
+
+    @property
+    def ok(self) -> bool:
+        """Within the tolerance DESIGN.md promises (±5%)."""
+        return abs(self.residual) <= 0.05
+
+    def render(self) -> str:
+        mark = "ok " if self.ok else "DRIFT"
+        return (
+            f"{self.label:<8} target {self.target_s:8.2f}s "
+            f"measured {self.measured_s:8.2f}s "
+            f"residual {self.residual * 100:+6.2f}%  {mark}"
+        )
+
+
+def check_calibration(
+    benches: Optional[Sequence[Tuple[str, str]]] = None,
+    *,
+    seed: int = 0,
+) -> List[CalibrationRow]:
+    """Run each configuration once, clean (HPL kernel, no noise), and
+    compare against its Table II anchor."""
+    rows: List[CalibrationRow] = []
+    keys = benches if benches is not None else sorted(NAS_BENCHMARKS)
+    for name, klass in keys:
+        spec = nas_spec(name, klass)
+        result = run_nas(name, klass, "hpl", seed=seed, noise=quiet_profile())
+        rows.append(
+            CalibrationRow(
+                label=spec.label,
+                target_s=spec.target_time / 1e6,
+                measured_s=result.app_time_s,
+            )
+        )
+    return rows
+
+
+def max_residual(rows: Sequence[CalibrationRow]) -> float:
+    """Largest absolute relative error across the checked rows."""
+    if not rows:
+        raise ValueError("no calibration rows")
+    return max(abs(r.residual) for r in rows)

@@ -1,0 +1,77 @@
+"""The idle scheduling class.
+
+"Notice that the idle class always contains at least the idle process, thus
+the scheduler's search cannot fail" (§IV).  Each CPU owns one permanently
+runnable idle task; it is picked only when every other class is empty, it is
+preempted by anything, and its execution performs no work and evicts no
+cache (an idle CPU sits in a wait loop touching nothing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kernel.sched_class import ClassQueue, SchedClass
+from repro.kernel.task import SchedPolicy, Task
+
+__all__ = ["IdleQueue", "IdleClass"]
+
+
+class IdleQueue(ClassQueue):
+    """Holds exactly the CPU's idle task (when it is not running)."""
+
+    def __init__(self, cpu_id: int) -> None:
+        super().__init__(cpu_id)
+        self.idle_task: Optional[Task] = None
+        self._queued = False
+
+    def queued_tasks(self) -> List[Task]:
+        return [self.idle_task] if self._queued and self.idle_task else []
+
+    def set_idle_task(self, task: Task) -> None:
+        if self.idle_task is not None:
+            raise RuntimeError(f"cpu {self.cpu_id} already has an idle task")
+        self.idle_task = task
+        self._queued = True
+        self.nr_running = 1
+
+    def mark_queued(self, queued: bool) -> None:
+        self._queued = queued
+        self.nr_running = 1 if queued else 0
+
+
+class IdleClass(SchedClass):
+    """The lowest-priority class."""
+
+    name = "idle"
+    policies = (SchedPolicy.IDLE,)
+    balanced = False  # the idle task is per-CPU and immovable
+
+    def new_queue(self, cpu_id: int) -> IdleQueue:
+        return IdleQueue(cpu_id)
+
+    def enqueue(self, queue: IdleQueue, task: Task, *, wakeup: bool) -> None:
+        if task is not queue.idle_task:
+            raise ValueError("only the CPU's own idle task belongs here")
+        queue.mark_queued(True)
+
+    def dequeue(self, queue: IdleQueue, task: Task) -> None:
+        queue.mark_queued(False)
+
+    def pick_next(self, queue: IdleQueue) -> Optional[Task]:
+        if queue.idle_task is None or not queue.nr_running:
+            return None
+        queue.mark_queued(False)
+        return queue.idle_task
+
+    def put_prev(self, queue: IdleQueue, task: Task) -> None:
+        queue.mark_queued(True)
+
+    def check_preempt(self, queue: IdleQueue, curr: Task, woken: Task) -> bool:
+        return False  # nothing in this class preempts anything
+
+    def task_slice(self, queue: IdleQueue, task: Task) -> Optional[int]:
+        return None
+
+    def steal_candidates(self, queue: IdleQueue) -> List[Task]:
+        return []

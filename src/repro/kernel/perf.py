@@ -1,0 +1,110 @@
+"""Software performance events (the simulator's ``perf``).
+
+The paper drives its analysis with two Linux *software* perf events:
+
+* ``context-switches`` — incremented every time a CPU switches from one task
+  to another (voluntary or not);
+* ``cpu-migrations``  — incremented when a task starts executing on a CPU
+  different from the one it last executed on.
+
+:class:`PerfEvents` is the system-wide counter fabric maintained by the
+scheduler core.  :class:`PerfSession` reproduces a ``perf stat``-style
+measurement window: deltas of the system-wide counters between ``open`` and
+``close``, which — exactly as the paper notes in §V — also picks up the
+residual activity of the measurement tooling itself (``perf``, ``chrt``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["PerfEvents", "PerfSession", "PerfReading"]
+
+
+class PerfEvents:
+    """System-wide software event counters, with per-CPU breakdown."""
+
+    CONTEXT_SWITCHES = "context-switches"
+    CPU_MIGRATIONS = "cpu-migrations"
+
+    def __init__(self, n_cpus: int) -> None:
+        self.n_cpus = n_cpus
+        self.context_switches = 0
+        self.cpu_migrations = 0
+        self.per_cpu_context_switches = [0] * n_cpus
+        self.per_cpu_migrations = [0] * n_cpus
+        #: (time, src_cpu, dst_cpu, pid) tuples, recorded only when tracing.
+        self.migration_trace: Optional[List[Tuple[int, int, int, int]]] = None
+
+    # ------------------------------------------------------------- recorders
+
+    def record_context_switch(self, cpu_id: int) -> None:
+        self.context_switches += 1
+        self.per_cpu_context_switches[cpu_id] += 1
+
+    def record_migration(self, time: int, pid: int, src_cpu: int, dst_cpu: int) -> None:
+        self.cpu_migrations += 1
+        self.per_cpu_migrations[dst_cpu] += 1
+        if self.migration_trace is not None:
+            self.migration_trace.append((time, src_cpu, dst_cpu, pid))
+
+    def enable_migration_trace(self) -> None:
+        """Start recording individual migration records (off by default to
+        keep campaign memory flat)."""
+        if self.migration_trace is None:
+            self.migration_trace = []
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            self.CONTEXT_SWITCHES: self.context_switches,
+            self.CPU_MIGRATIONS: self.cpu_migrations,
+        }
+
+
+@dataclass(frozen=True)
+class PerfReading:
+    """The result of a closed :class:`PerfSession` window."""
+
+    context_switches: int
+    cpu_migrations: int
+    wall_time: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "context-switches": self.context_switches,
+            "cpu-migrations": self.cpu_migrations,
+            "wall-time-us": self.wall_time,
+        }
+
+
+class PerfSession:
+    """A ``perf stat -a``-style system-wide measurement window."""
+
+    def __init__(self, events: PerfEvents) -> None:
+        self._events = events
+        self._open_snapshot: Optional[Dict[str, int]] = None
+        self._open_time: Optional[int] = None
+        self.reading: Optional[PerfReading] = None
+
+    def open(self, now: int) -> None:
+        if self._open_snapshot is not None:
+            raise RuntimeError("perf session already open")
+        self._open_snapshot = self._events.snapshot()
+        self._open_time = now
+
+    def close(self, now: int) -> PerfReading:
+        if self._open_snapshot is None or self._open_time is None:
+            raise RuntimeError("perf session was never opened")
+        end = self._events.snapshot()
+        start = self._open_snapshot
+        self.reading = PerfReading(
+            context_switches=end[PerfEvents.CONTEXT_SWITCHES]
+            - start[PerfEvents.CONTEXT_SWITCHES],
+            cpu_migrations=end[PerfEvents.CPU_MIGRATIONS]
+            - start[PerfEvents.CPU_MIGRATIONS],
+            wall_time=now - self._open_time,
+        )
+        self._open_snapshot = None
+        self._open_time = None
+        return self.reading

@@ -1,0 +1,150 @@
+"""``/proc``-style introspection of a running simulated kernel.
+
+The paper's methodology leans on Linux's observability (perf counters,
+scheduler statistics).  This module renders the equivalents for the
+simulator: per-task ``/proc/<pid>/sched``, system-wide ``/proc/schedstat``,
+and a ``ps``-like process listing — used by the examples, by debugging
+sessions, and by tests that want a one-call consistency check of the whole
+scheduler state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.units import to_msecs
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task, TaskState
+
+__all__ = ["task_sched_stats", "render_task_sched", "render_schedstat", "render_ps", "consistency_check"]
+
+
+@dataclass(frozen=True)
+class TaskSchedStats:
+    """The fields of ``/proc/<pid>/sched`` we model."""
+
+    pid: int
+    name: str
+    policy: str
+    state: str
+    cpu: Optional[int]
+    sum_exec_runtime: int
+    vruntime: int
+    nr_switches: int
+    nr_voluntary_switches: int
+    nr_involuntary_switches: int
+    nr_migrations: int
+
+
+def task_sched_stats(task: Task) -> TaskSchedStats:
+    return TaskSchedStats(
+        pid=task.pid,
+        name=task.name,
+        policy=task.policy,
+        state=task.state,
+        cpu=task.cpu,
+        sum_exec_runtime=task.sum_exec_runtime,
+        vruntime=task.vruntime,
+        nr_switches=task.nr_switches,
+        nr_voluntary_switches=task.nr_voluntary_switches,
+        nr_involuntary_switches=task.nr_involuntary_switches,
+        nr_migrations=task.nr_migrations,
+    )
+
+
+def render_task_sched(task: Task) -> str:
+    """A ``/proc/<pid>/sched``-style dump."""
+    s = task_sched_stats(task)
+    lines = [
+        f"{s.name} ({s.pid}, {s.policy})",
+        "-" * 45,
+        f"se.sum_exec_runtime          : {to_msecs(s.sum_exec_runtime):12.3f} ms",
+        f"se.vruntime                  : {to_msecs(s.vruntime):12.3f} ms",
+        f"se.nr_migrations             : {s.nr_migrations:12d}",
+        f"nr_switches                  : {s.nr_switches:12d}",
+        f"nr_voluntary_switches        : {s.nr_voluntary_switches:12d}",
+        f"nr_involuntary_switches      : {s.nr_involuntary_switches:12d}",
+        f"state                        : {s.state:>12}",
+        f"cpu                          : {str(s.cpu):>12}",
+    ]
+    return "\n".join(lines)
+
+
+def render_schedstat(kernel: Kernel) -> str:
+    """A ``/proc/schedstat``-flavoured system summary."""
+    lines = [f"timestamp {kernel.now}"]
+    for rq in kernel.core.rqs:
+        counts = {name: q.nr_running for name, q in rq.queues.items()}
+        curr = rq.curr.name if rq.curr is not None else "-"
+        lines.append(
+            f"cpu{rq.cpu_id} curr={curr} "
+            f"queued(rt={counts.get('rt', 0)}"
+            + (f", hpc={counts['hpc']}" if "hpc" in counts else "")
+            + f", fair={counts.get('fair', 0)}) "
+            f"switches={kernel.perf.per_cpu_context_switches[rq.cpu_id]} "
+            f"migrations_in={kernel.perf.per_cpu_migrations[rq.cpu_id]}"
+        )
+    lines.append(
+        f"total switches={kernel.perf.context_switches} "
+        f"migrations={kernel.perf.cpu_migrations}"
+    )
+    return "\n".join(lines)
+
+
+def render_ps(kernel: Kernel, *, include_idle: bool = False) -> str:
+    """A ``ps``-like listing of all tasks."""
+    header = f"{'PID':>5} {'POLICY':<12} {'STATE':<9} {'CPU':>4} {'TIME(ms)':>10} {'MIG':>4}  NAME"
+    lines = [header, "-" * len(header)]
+    for task in sorted(kernel.tasks.values(), key=lambda t: t.pid):
+        if task.is_idle and not include_idle:
+            continue
+        cpu = task.cpu if task.cpu is not None else "-"
+        lines.append(
+            f"{task.pid:>5} {task.policy:<12} {task.state:<9} {str(cpu):>4} "
+            f"{to_msecs(task.sum_exec_runtime):>10.2f} {task.nr_migrations:>4}  {task.name}"
+        )
+    return "\n".join(lines)
+
+
+def consistency_check(kernel: Kernel) -> List[str]:
+    """Cross-check the scheduler's books; returns a list of violations
+    (empty = consistent).  Used by tests as a whole-system invariant."""
+    problems: List[str] = []
+    seen_running: Dict[int, int] = {}
+
+    for rq in kernel.core.rqs:
+        curr = rq.curr
+        if curr is None:
+            problems.append(f"cpu{rq.cpu_id}: no current task (not even idle)")
+            continue
+        if curr.state != TaskState.RUNNING:
+            problems.append(
+                f"cpu{rq.cpu_id}: curr {curr.name} in state {curr.state}"
+            )
+        if curr.cpu != rq.cpu_id:
+            problems.append(
+                f"cpu{rq.cpu_id}: curr {curr.name} claims cpu {curr.cpu}"
+            )
+        seen_running[curr.pid] = rq.cpu_id
+        for name, queue in rq.queues.items():
+            for task in queue.queued_tasks():
+                if task.state != TaskState.RUNNABLE:
+                    problems.append(
+                        f"cpu{rq.cpu_id}/{name}: queued {task.name} in state {task.state}"
+                    )
+                if task.cpu != rq.cpu_id:
+                    problems.append(
+                        f"cpu{rq.cpu_id}/{name}: queued {task.name} claims cpu {task.cpu}"
+                    )
+                if task is curr:
+                    problems.append(
+                        f"cpu{rq.cpu_id}/{name}: running task also queued"
+                    )
+
+    for task in kernel.tasks.values():
+        if task.state == TaskState.RUNNING and task.pid not in seen_running:
+            problems.append(f"{task.name}: RUNNING but on no CPU")
+        if task.state == TaskState.EXITED and task.pid in seen_running:
+            problems.append(f"{task.name}: EXITED but still current")
+    return problems

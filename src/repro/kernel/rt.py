@@ -1,0 +1,133 @@
+"""The Real-Time scheduling class (SCHED_FIFO / SCHED_RR).
+
+The paper examines running HPC tasks under this class as the "obvious"
+alternative to a new scheduler (§IV, Fig. 4) and finds it insufficient:
+
+* RT tasks do outrank every CFS task, so daemon *preemption* mostly stops;
+* but the RT class still load-balances — and because there are *few* RT
+  tasks, the balancer triggers more easily ("since there are fewer real-time
+  tasks than CFS tasks, the probability of triggering a load balancing
+  operation is higher with the Real-Time scheduler"), assisted by the
+  high-priority per-CPU **migration daemon**, so CPU migrations (and the
+  context switches the migration daemon itself costs) persist.
+
+The balancing side is modelled in ``repro.kernel.load_balancer`` (length-
+based, as §IV describes); here we provide the queueing discipline: one FIFO
+deque per priority level, highest priority first, 100 ms RR timeslices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.units import msecs
+from repro.kernel.sched_class import ClassQueue, SchedClass
+from repro.kernel.task import SchedPolicy, Task
+
+__all__ = ["RtParams", "RtQueue", "RtClass"]
+
+
+@dataclass(frozen=True)
+class RtParams:
+    """RT tunables."""
+
+    #: SCHED_RR timeslice (the kernel's RR_TIMESLICE, 100 ms at HZ=1000).
+    rr_timeslice: int = msecs(100)
+
+    def __post_init__(self) -> None:
+        if self.rr_timeslice <= 0:
+            raise ValueError("rr_timeslice must be positive")
+
+
+class RtQueue(ClassQueue):
+    """Per-CPU RT queue: a deque per priority, searched highest-first."""
+
+    def __init__(self, cpu_id: int) -> None:
+        super().__init__(cpu_id)
+        self._prio_queues: Dict[int, deque] = {}
+
+    def queued_tasks(self) -> List[Task]:
+        tasks: List[Task] = []
+        for prio in sorted(self._prio_queues, reverse=True):
+            tasks.extend(self._prio_queues[prio])
+        return tasks
+
+    def highest_prio(self) -> Optional[int]:
+        live = [p for p, q in self._prio_queues.items() if q]
+        return max(live) if live else None
+
+    def push(self, task: Task, *, head: bool = False) -> None:
+        q = self._prio_queues.setdefault(task.rt_priority, deque())
+        if head:
+            q.appendleft(task)
+        else:
+            q.append(task)
+        self.nr_running += 1
+
+    def pop_highest(self) -> Optional[Task]:
+        prio = self.highest_prio()
+        if prio is None:
+            return None
+        task = self._prio_queues[prio].popleft()
+        self.nr_running -= 1
+        return task
+
+    def remove(self, task: Task) -> None:
+        q = self._prio_queues.get(task.rt_priority)
+        if q is not None:
+            try:
+                q.remove(task)
+            except ValueError:
+                pass
+            else:
+                self.nr_running -= 1
+                return
+        raise ValueError(f"{task!r} not on RT queue of cpu {self.cpu_id}")
+
+
+class RtClass(SchedClass):
+    """The real-time scheduling class."""
+
+    name = "rt"
+    policies = SchedPolicy.RT
+    balanced = True
+
+    def __init__(self, params: RtParams = RtParams()) -> None:
+        self.params = params
+
+    def new_queue(self, cpu_id: int) -> RtQueue:
+        return RtQueue(cpu_id)
+
+    def enqueue(self, queue: RtQueue, task: Task, *, wakeup: bool) -> None:
+        queue.push(task)
+
+    def dequeue(self, queue: RtQueue, task: Task) -> None:
+        queue.remove(task)
+
+    def pick_next(self, queue: RtQueue) -> Optional[Task]:
+        task = queue.pop_highest()
+        if task is not None:
+            task.slice_used = 0
+        return task
+
+    def put_prev(self, queue: RtQueue, task: Task) -> None:
+        # A preempted FIFO task goes back to the head of its priority level;
+        # an RR task whose slice expired goes to the tail.  We approximate
+        # with: slice exhausted → tail, otherwise head.
+        slice_left = self.task_slice(queue, task)
+        expired = slice_left is not None and task.slice_used >= self.params.rr_timeslice
+        queue.push(task, head=not expired)
+
+    def check_preempt(self, queue: RtQueue, curr: Task, woken: Task) -> bool:
+        return woken.rt_priority > curr.rt_priority
+
+    def task_slice(self, queue: RtQueue, task: Task) -> Optional[int]:
+        if task.policy == SchedPolicy.FIFO:
+            return None
+        # RR rotates only among equals: alone at its priority → no slice.
+        peers_queued = any(t.rt_priority == task.rt_priority for t in queue.queued_tasks())
+        if not peers_queued:
+            return None
+        return self.params.rr_timeslice

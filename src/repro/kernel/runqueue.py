@@ -1,0 +1,98 @@
+"""Per-CPU run queue aggregating every scheduling class's queue.
+
+Mirrors ``struct rq``: one per CPU, holding the class queues in priority
+order plus the currently running task.  The running task is never inside a
+class queue (see :mod:`repro.kernel.sched_class`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.kernel.sched_class import ClassQueue, SchedClass
+from repro.kernel.task import Task
+
+__all__ = ["CpuRunqueue"]
+
+
+class CpuRunqueue:
+    """The scheduler state of one CPU."""
+
+    def __init__(self, cpu_id: int, classes: Sequence[SchedClass]) -> None:
+        self.cpu_id = cpu_id
+        #: Scheduling classes, highest priority first (shared across CPUs).
+        self.classes: List[SchedClass] = list(classes)
+        #: Per-class queues, keyed by class name.
+        self.queues: Dict[str, ClassQueue] = {
+            cls.name: cls.new_queue(cpu_id) for cls in classes
+        }
+        self._class_by_name: Dict[str, SchedClass] = {c.name: c for c in classes}
+        #: Currently running task (the idle task when the CPU is idle).
+        self.curr: Optional[Task] = None
+        #: Simulated time at which ``curr`` was last put on the CPU /
+        #: last had its accounting brought up to date.
+        self.exec_start = 0
+        #: The pending timer event for this CPU (slice expiry or segment
+        #: completion), owned by the scheduler core.
+        self.timer_event = None
+        #: µs of cache-disturbing execution that has happened on this CPU's
+        #: *core* — the lazy eviction clock (see WarmthModel notes in
+        #: sched_core).  Shared semantics: all hwthreads of a core observe the
+        #: same logical clock; we keep it per-core on the core object and
+        #: this mirrors it for convenience.
+        self.rt_throttled = False
+
+    # ------------------------------------------------------------- helpers
+
+    def class_of(self, task: Task) -> SchedClass:
+        """The scheduling class serving *task*'s policy."""
+        for cls in self.classes:
+            if task.policy in cls.policies:
+                return cls
+        raise ValueError(
+            f"no class on cpu {self.cpu_id} serves policy {task.policy!r} "
+            f"(classes: {[c.name for c in self.classes]})"
+        )
+
+    def class_rank(self, cls: SchedClass) -> int:
+        """Priority position of *cls* (0 = highest)."""
+        return self.classes.index(cls)
+
+    def queue_for(self, task: Task) -> ClassQueue:
+        return self.queues[self.class_of(task).name]
+
+    def nr_queued(self, class_name: Optional[str] = None) -> int:
+        """Queued (not running) tasks, optionally restricted to one class.
+        The parked idle task never counts as queued work."""
+        if class_name is not None:
+            return self.queues[class_name].nr_running
+        return sum(
+            q.nr_running for name, q in self.queues.items() if name != "idle"
+        )
+
+    def nr_runnable(self, class_name: Optional[str] = None) -> int:
+        """Queued + running tasks of *class_name* (or all classes).  The
+        idle task never counts as runnable load."""
+        count = 0
+        if class_name is None:
+            count = sum(
+                q.nr_running for name, q in self.queues.items() if name != "idle"
+            )
+            if self.curr is not None and not self.curr.is_idle:
+                count += 1
+            return count
+        count = self.queues[class_name].nr_running
+        if (
+            self.curr is not None
+            and not self.curr.is_idle
+            and self._class_by_name[class_name] is self.class_of(self.curr)
+        ):
+            count += 1
+        return count
+
+    def is_idle(self) -> bool:
+        return self.curr is None or self.curr.is_idle
+
+    def __repr__(self) -> str:
+        counts = {name: q.nr_running for name, q in self.queues.items()}
+        return f"<rq cpu={self.cpu_id} curr={self.curr and self.curr.name} {counts}>"

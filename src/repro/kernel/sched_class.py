@@ -1,0 +1,108 @@
+"""The scheduling-class framework (paper §IV).
+
+Linux 2.6.23+ structures the scheduler as an ordered list of *scheduling
+classes*; the scheduler core walks the list and asks each class for a task
+("When the scheduler is invoked, the Scheduler Core looks for the best
+process to run from the highest priority class ... This operation repeats
+until the Scheduler Core finds a runnable task").
+
+Each class contributes, per CPU, a :class:`ClassQueue` holding that class's
+runnable tasks.  By convention the *currently running* task is **not** in any
+class queue: :meth:`SchedClass.pick_next` removes it, and
+:meth:`SchedClass.put_prev` puts it back when it is preempted or its slice
+expires.
+
+The framework is exactly what makes the paper's contribution small and
+surgical: HPL is "a new Scheduler Class between the standard Real-Time and
+CFS Linux classes" (:class:`repro.core.hpl_class.HplClass`) and everything
+else is reused.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple
+
+from repro.kernel.task import Task
+
+__all__ = ["ClassQueue", "SchedClass"]
+
+
+class ClassQueue(ABC):
+    """Per-CPU queue of runnable tasks belonging to one scheduling class."""
+
+    def __init__(self, cpu_id: int) -> None:
+        self.cpu_id = cpu_id
+        self.nr_running = 0
+
+    @abstractmethod
+    def queued_tasks(self) -> List[Task]:
+        """All queued (runnable, not running) tasks, in queue order."""
+
+    def __len__(self) -> int:
+        return self.nr_running
+
+
+class SchedClass(ABC):
+    """One scheduling class (RT, HPC, CFS/fair, idle)."""
+
+    #: Short identifier; also the key in the run queue's class table.
+    name: str = ""
+    #: The :class:`~repro.kernel.task.SchedPolicy` values this class serves.
+    policies: Tuple[str, ...] = ()
+    #: Whether the stock load balancer balances this class's tasks.
+    balanced: bool = True
+
+    # ----------------------------------------------------------- queue mgmt
+
+    @abstractmethod
+    def new_queue(self, cpu_id: int) -> ClassQueue:
+        """Create this class's per-CPU queue."""
+
+    @abstractmethod
+    def enqueue(self, queue: ClassQueue, task: Task, *, wakeup: bool) -> None:
+        """Add a runnable task.  ``wakeup`` distinguishes a sleep→runnable
+        transition (eligible for sleeper credit in CFS) from a requeue."""
+
+    @abstractmethod
+    def dequeue(self, queue: ClassQueue, task: Task) -> None:
+        """Remove a queued task (it blocked, exited, or is being migrated)."""
+
+    @abstractmethod
+    def pick_next(self, queue: ClassQueue) -> Optional[Task]:
+        """Remove and return the task that should run next, or ``None``."""
+
+    @abstractmethod
+    def put_prev(self, queue: ClassQueue, task: Task) -> None:
+        """Return a task that just stopped running to the queue."""
+
+    # ------------------------------------------------------------ decisions
+
+    @abstractmethod
+    def check_preempt(self, queue: ClassQueue, curr: Task, woken: Task) -> bool:
+        """Should *woken* (same class as *curr*) preempt *curr* right now?"""
+
+    @abstractmethod
+    def task_slice(self, queue: ClassQueue, task: Task) -> Optional[int]:
+        """µs the task may run before the class wants to rotate it out, or
+        ``None`` for run-to-block (FIFO)."""
+
+    # ------------------------------------------------------------ accounting
+
+    def charge(self, queue: ClassQueue, task: Task, delta: int) -> None:
+        """Account *delta* µs of execution to *task* (vruntime etc.).
+        Default: no class-specific accounting."""
+
+    def yield_task(self, queue: ClassQueue, task: Task) -> None:
+        """Adjust state when *task* calls ``sched_yield`` (it will be
+        re-enqueued via :meth:`put_prev` afterwards).  Default: no-op."""
+
+    # ------------------------------------------------------------ balancing
+
+    def steal_candidates(self, queue: ClassQueue) -> List[Task]:
+        """Queued tasks a balancer may migrate away (running task excluded by
+        construction).  Default: all queued tasks."""
+        return queue.queued_tasks()
+
+    def __repr__(self) -> str:
+        return f"<SchedClass {self.name}>"

@@ -1,0 +1,622 @@
+"""The scheduler core.
+
+This module is the simulator's ``kernel/sched.c``: it owns the per-CPU run
+queues, performs context switches, walks the scheduling-class list to pick
+the next task, applies wakeup preemption, and maintains the perf software
+counters and the cache-warmth state at exactly the decision points the real
+kernel would.
+
+Execution model
+---------------
+The core is event-driven.  At most one *cpu timer* event is pending per CPU:
+either the running task's **segment completion** (its remaining work, solved
+in closed form against the warmth model and the SMT co-run factor) or its
+**timeslice expiry** (only armed when the class wants rotation).  Everything
+else — wakeups, blocks, balancer actions — arrives as external events that
+checkpoint the running task's accounting (:meth:`SchedCore.update_curr`) and
+re-arm the timer.  Between checkpoints a task's execution rate is constant
+by construction, because anything that could change it (SMT sibling state,
+preemption) itself triggers a checkpoint.
+
+Spinning tasks
+--------------
+A task with ``spinning=True`` models an MPI rank busy-waiting in the
+library's progress loop: it occupies the CPU (and an SMT pipeline) but
+performs no accounted work, and — because such loops call ``sched_yield()``
+every iteration — a *fair-class* spinner is treated as immediately
+preemptable by any fair-class wakeup on its CPU.  An HPC- or RT-class
+spinner yields only to its own (empty) class and therefore keeps the CPU,
+which is precisely the paper's mechanism for starving daemons while the
+application runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.memsim.warmth import WarmthModel
+from repro.sim.engine import Simulator
+from repro.topology.machine import Machine
+from repro.kernel.perf import PerfEvents
+from repro.kernel.runqueue import CpuRunqueue
+from repro.kernel.sched_class import SchedClass
+from repro.kernel.task import SchedPolicy, Task, TaskState
+
+__all__ = ["SchedCoreConfig", "SchedCore"]
+
+#: Work-completion slack (µs): integer rounding across checkpoints can leave
+#: a segment this much short; treat it as done.
+_WORK_EPSILON = 2
+
+
+@dataclass(frozen=True)
+class SchedCoreConfig:
+    """Mechanical costs and behaviour switches of the scheduler core."""
+
+    #: Direct cost of a context switch (register/TLB work), µs.
+    switch_cost: int = 6
+    #: Extra direct cost charged to a task on CPU migration, µs.
+    migration_cost: int = 30
+    #: Fraction of CPU throughput lost to periodic-tick bookkeeping.
+    tick_overhead: float = 0.001
+    #: NETTICK-style dynamic ticks: no tick overhead on a CPU whose run
+    #: queue holds a single task (the paper's [21], left as future work for
+    #: HPL's evaluation but implemented here for the ablation benches).
+    tickless: bool = False
+    #: Whether a fair-class spinner is preempted by fair-class wakeups
+    #: (models the sched_yield() in MPI progress loops).
+    spin_preempt: bool = True
+
+    def __post_init__(self) -> None:
+        if self.switch_cost < 0 or self.migration_cost < 0:
+            raise ValueError("costs cannot be negative")
+        if not 0.0 <= self.tick_overhead < 0.2:
+            raise ValueError("tick_overhead must be a small fraction")
+
+
+class SchedCore:
+    """Per-machine scheduler state machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        classes: Sequence[SchedClass],
+        warmth: WarmthModel,
+        perf: PerfEvents,
+        config: SchedCoreConfig = SchedCoreConfig(),
+    ) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.classes = list(classes)
+        self.warmth = warmth
+        self.perf = perf
+        self.config = config
+
+        self.rqs: List[CpuRunqueue] = [
+            CpuRunqueue(cpu.cpu_id, self.classes) for cpu in machine.cpus
+        ]
+        #: Lazy cache-eviction clocks, one per physical core.
+        self._core_clock: Dict[int, int] = {
+            core.core_id: 0 for core in machine.cores()
+        }
+        #: Wake/fork CPU selection, installed by the kernel facade.
+        self.select_cpu: Callable[[Task, str], int] = lambda task, reason: (
+            task.cpu if task.cpu is not None else 0
+        )
+        #: New-idle balance hook (returns True if it enqueued something).
+        self.newidle_hook: Optional[Callable[[int], bool]] = None
+        #: Observers called as fn(time, cpu, prev, next) on every switch.
+        self.switch_hooks: List[Callable[[int, int, Task, Task], None]] = []
+
+        self._idle_tasks: List[Optional[Task]] = [None] * machine.n_cpus
+
+    # ------------------------------------------------------------ bootstrap
+
+    def install_idle_task(self, cpu_id: int, task: Task) -> None:
+        """Register *task* as the permanent idle task of *cpu_id* and start
+        the CPU idling."""
+        if task.policy != SchedPolicy.IDLE:
+            raise ValueError("idle task must have SCHED_IDLE policy")
+        rq = self.rqs[cpu_id]
+        queue = rq.queues["idle"]
+        queue.set_idle_task(task)  # type: ignore[attr-defined]
+        task.cpu = cpu_id
+        task.last_cpu = cpu_id
+        self._idle_tasks[cpu_id] = task
+        if rq.curr is None:
+            queue.mark_queued(False)  # type: ignore[attr-defined]
+            task.state = TaskState.RUNNING
+            rq.curr = task
+            rq.exec_start = self.sim.now
+
+    # ------------------------------------------------------------ inquiries
+
+    def rq_of(self, task: Task) -> CpuRunqueue:
+        if task.cpu is None:
+            raise ValueError(f"{task!r} has no CPU assignment")
+        return self.rqs[task.cpu]
+
+    def hpc_count(self, cpu_id: int) -> int:
+        """Runnable HPC tasks on a CPU (for the HPL fork placer)."""
+        rq = self.rqs[cpu_id]
+        if "hpc" not in rq.queues:
+            return 0
+        return rq.nr_runnable("hpc")
+
+    def cpu_is_idle(self, cpu_id: int) -> bool:
+        return self.rqs[cpu_id].is_idle()
+
+    # ------------------------------------------------------- accounting core
+
+    def _base_rate(self, rq: CpuRunqueue) -> float:
+        """Execution rate of the task on *rq* right now: SMT co-run factor
+        times the tick-bookkeeping haircut."""
+        cpu = self.machine.cpu(rq.cpu_id)
+        busy = 0
+        for thread in cpu.core.threads:
+            curr = self.rqs[thread.cpu_id].curr
+            if curr is not None and not curr.is_idle:
+                busy += 1
+        busy = max(busy, 1)
+        rate = self.machine.smt_throughput[busy - 1]
+        if self.config.tick_overhead:
+            tickless_quiet = self.config.tickless and rq.nr_queued() == 0
+            if not tickless_quiet:
+                rate *= 1.0 - self.config.tick_overhead
+        return rate
+
+    def update_curr(self, cpu_id: int) -> None:
+        """Checkpoint the running task's accounting up to now."""
+        rq = self.rqs[cpu_id]
+        p = rq.curr
+        now = self.sim.now
+        delta = now - rq.exec_start
+        if p is None or delta <= 0:
+            rq.exec_start = now
+            return
+        rq.exec_start = now
+        p.sum_exec_runtime += delta
+        p.slice_used += delta
+        p.last_ran_at = now
+        if p.is_idle:
+            return
+
+        cls = rq.class_of(p)
+        cls.charge(rq.queues[cls.name], p, delta)
+
+        # Work progression: burn pending dead time first, then real work.
+        effective = delta
+        if p.pending_delay > 0:
+            burned = min(effective, p.pending_delay)
+            p.pending_delay -= burned
+            effective -= burned
+        if effective > 0 and not p.spinning and p.remaining_work is not None:
+            rate = self._base_rate(rq)
+            if p.warmth is not None:
+                speed = self.warmth.mean_speed_over(p.warmth, effective)
+            else:  # pragma: no cover - warmth always set before running
+                speed = 1.0
+            done = int(rate * speed * effective)
+            p.remaining_work = max(0, p.remaining_work - done)
+
+        # Cache dynamics: a working task rewarms itself and disturbs the
+        # core's other residents; a spinner's footprint is negligible.
+        if not p.spinning and p.warmth is not None:
+            if effective > 0:
+                self.warmth.run_for(p.warmth, effective)
+            core_id = self.machine.cpu(cpu_id).core.core_id
+            self._core_clock[core_id] += delta
+
+    def _apply_lazy_eviction(self, task: Task) -> None:
+        """Fold in the cache disturbance that hit the task's home core while
+        it was off-CPU."""
+        if task.warmth is None:
+            return
+        core_id = self.machine.cpu(task.warmth.home_cpu).core.core_id
+        clock = self._core_clock[core_id]
+        delta = clock - task.evict_snapshot
+        if delta > 0:
+            self.warmth.evict_for(task.warmth, delta)
+        task.evict_snapshot = clock
+
+    def _snapshot_eviction(self, task: Task) -> None:
+        if task.warmth is None:
+            return
+        core_id = self.machine.cpu(task.warmth.home_cpu).core.core_id
+        task.evict_snapshot = self._core_clock[core_id]
+
+    # ----------------------------------------------------------- placement
+
+    def set_task_cpu(self, task: Task, new_cpu: int) -> None:
+        """Assign *task* to *new_cpu*, counting a cpu-migration (and paying
+        its costs) when the assignment actually changes — the semantics of
+        the kernel's ``set_task_cpu`` / PERF_COUNT_SW_CPU_MIGRATIONS."""
+        old = task.cpu
+        if old == new_cpu:
+            return
+        if not task.allows_cpu(new_cpu):
+            raise ValueError(f"{task!r} affinity forbids cpu {new_cpu}")
+        if old is not None:
+            task.nr_migrations += 1
+            self.perf.record_migration(self.sim.now, task.pid, old, new_cpu)
+            if task.warmth is not None:
+                self._apply_lazy_eviction(task)
+                self.warmth.migrate(task.warmth, new_cpu)
+                self._snapshot_eviction(task)
+            task.pending_delay += self.config.migration_cost
+        task.cpu = new_cpu
+
+    # ---------------------------------------------------------- transitions
+
+    def start_task(self, task: Task, *, parent_cpu: Optional[int]) -> None:
+        """Make a NEW task runnable (the tail of ``fork``): it inherits the
+        parent's CPU, then fork placement may move it (counted as the fork
+        migration the paper describes in §V)."""
+        if task.state != TaskState.NEW:
+            raise ValueError(f"start_task on non-new {task!r}")
+        task.created_at = self.sim.now
+        if parent_cpu is not None:
+            task.cpu = parent_cpu
+        elif task.cpu is None:
+            task.cpu = 0
+        target = self.select_cpu(task, "fork")
+        self.set_task_cpu(task, target)
+        if task.warmth is None:
+            task.warmth = self.warmth.new_task(task.cpu)
+            self._snapshot_eviction(task)
+        self._activate(task, wakeup=False)
+
+    def wake_up(self, task: Task) -> None:
+        """SLEEPING → RUNNABLE, with wake placement and preemption check."""
+        if task.state != TaskState.SLEEPING:
+            raise ValueError(f"wake_up on non-sleeping {task!r}")
+        target = self.select_cpu(task, "wake")
+        self.set_task_cpu(task, target)
+        self._activate(task, wakeup=True)
+
+    def _activate(self, task: Task, *, wakeup: bool) -> None:
+        rq = self.rq_of(task)
+        cls = rq.class_of(task)
+        task.state = TaskState.RUNNABLE
+        cls.enqueue(rq.queues[cls.name], task, wakeup=wakeup)
+        self._check_preempt(rq, task)
+
+    def _check_preempt(self, rq: CpuRunqueue, woken: Task) -> None:
+        curr = rq.curr
+        if curr is None:
+            self._dispatch(rq)
+            return
+        wcls = rq.class_of(woken)
+        ccls = rq.class_of(curr)
+        wrank = rq.class_rank(wcls)
+        crank = rq.class_rank(ccls)
+        preempt = False
+        if wrank < crank:
+            preempt = True  # higher class always wins (the §IV class order)
+        elif wrank == crank:
+            self.update_curr(rq.cpu_id)
+            if wcls.check_preempt(rq.queues[wcls.name], curr, woken):
+                preempt = True
+            elif (
+                curr.spinning
+                and self.config.spin_preempt
+                and ccls.name == "fair"
+            ):
+                preempt = True  # the spinner's next sched_yield()
+        if preempt:
+            self.preempt_curr(rq)
+        else:
+            # The new arrival may shorten the current slice.
+            self._program(rq)
+
+    def _checkpoint_siblings(self, cpu_id: int) -> None:
+        """Bring SMT siblings' accounting up to date *before* this CPU's
+        busy state changes, so their past interval is integrated at the rate
+        that actually prevailed."""
+        cpu = self.machine.cpu(cpu_id)
+        for thread in cpu.core.threads:
+            if thread.cpu_id != cpu_id:
+                self.update_curr(thread.cpu_id)
+
+    def preempt_curr(self, rq: CpuRunqueue) -> None:
+        """Involuntarily displace the running task and reschedule."""
+        curr = rq.curr
+        if curr is None:
+            self._dispatch(rq)
+            return
+        self.update_curr(rq.cpu_id)
+        self._checkpoint_siblings(rq.cpu_id)
+        rq.curr = None
+        if not curr.is_idle:
+            curr.nr_involuntary_switches += 1
+            curr.state = TaskState.RUNNABLE
+            self._snapshot_eviction(curr)
+            cls = rq.class_of(curr)
+            cls.put_prev(rq.queues[cls.name], curr)
+        else:
+            curr.state = TaskState.RUNNABLE
+            cls = rq.class_of(curr)
+            cls.put_prev(rq.queues[cls.name], curr)
+        self._dispatch(rq, prev=curr)
+
+    def block_current(self, cpu_id: int) -> Task:
+        """The running task sleeps (voluntary switch).  Returns it."""
+        rq = self.rqs[cpu_id]
+        curr = rq.curr
+        if curr is None or curr.is_idle:
+            raise RuntimeError(f"no blockable task on cpu {cpu_id}")
+        self.update_curr(cpu_id)
+        self._checkpoint_siblings(cpu_id)
+        curr.state = TaskState.SLEEPING
+        curr.sleep_start = self.sim.now
+        curr.nr_voluntary_switches += 1
+        self._snapshot_eviction(curr)
+        rq.curr = None
+        self._dispatch(rq, prev=curr)
+        return curr
+
+    def exit_current(self, cpu_id: int) -> Task:
+        """The running task exits."""
+        rq = self.rqs[cpu_id]
+        curr = rq.curr
+        if curr is None or curr.is_idle:
+            raise RuntimeError(f"no exitable task on cpu {cpu_id}")
+        self.update_curr(cpu_id)
+        self._checkpoint_siblings(cpu_id)
+        curr.state = TaskState.EXITED
+        curr.exited_at = self.sim.now
+        rq.curr = None
+        self._dispatch(rq, prev=curr)
+        return curr
+
+    def yield_current(self, cpu_id: int) -> None:
+        """``sched_yield()`` from the running task."""
+        rq = self.rqs[cpu_id]
+        curr = rq.curr
+        if curr is None or curr.is_idle:
+            return
+        self.update_curr(cpu_id)
+        cls = rq.class_of(curr)
+        queue = rq.queues[cls.name]
+        if queue.nr_running == 0:
+            # Nobody to yield to in this class; yielding is a no-op beyond
+            # its (negligible) syscall cost.
+            self._program(rq)
+            return
+        cls.yield_task(queue, curr)
+        curr.state = TaskState.RUNNABLE
+        self._snapshot_eviction(curr)
+        cls.put_prev(queue, curr)
+        rq.curr = None
+        self._dispatch(rq, prev=curr)
+
+    # ----------------------------------------------------------- migration
+
+    def migrate_queued(self, task: Task, dst_cpu: int) -> None:
+        """Balancer: move a queued (runnable, not running) task to another
+        CPU's queue."""
+        if task.state != TaskState.RUNNABLE:
+            raise ValueError(f"can only migrate runnable tasks, not {task!r}")
+        src_rq = self.rq_of(task)
+        if src_rq.curr is task:
+            raise ValueError("use active migration for the running task")
+        cls = src_rq.class_of(task)
+        cls.dequeue(src_rq.queues[cls.name], task)
+        self.set_task_cpu(task, dst_cpu)
+        dst_rq = self.rqs[dst_cpu]
+        dst_cls = dst_rq.class_of(task)
+        dst_cls.enqueue(dst_rq.queues[dst_cls.name], task, wakeup=False)
+        self._program(src_rq)
+        self._check_preempt(dst_rq, task)
+
+    def active_migrate_running(self, cpu_id: int, dst_cpu: int) -> Optional[Task]:
+        """Migration-daemon-assisted move of the *running* task (how the RT
+        balancer relocates a task that never blocks).  Costs the victim a
+        preemption (the daemon runs) plus the migration itself."""
+        rq = self.rqs[cpu_id]
+        victim = rq.curr
+        if victim is None or victim.is_idle:
+            return None
+        self.update_curr(cpu_id)
+        self._checkpoint_siblings(cpu_id)
+        victim.nr_involuntary_switches += 1
+        victim.state = TaskState.RUNNABLE
+        self._snapshot_eviction(victim)
+        rq.curr = None
+        # The migration daemon briefly runs on the source CPU: one switch
+        # into the daemon here; the switch out of it is the dispatch below.
+        self.perf.record_context_switch(cpu_id)
+        self.set_task_cpu(victim, dst_cpu)
+        dst_rq = self.rqs[dst_cpu]
+        cls = dst_rq.class_of(victim)
+        cls.enqueue(dst_rq.queues[cls.name], victim, wakeup=False)
+        # Give the destination the task *before* the source looks for new
+        # work, so the source's new-idle pass sees it running, not queued
+        # (stealing it straight back would be absurd — and a livelock).
+        self._check_preempt(dst_rq, victim)
+        self._dispatch(rq, prev=victim)
+        return victim
+
+    # ------------------------------------------------------------- segments
+
+    def set_segment(self, task: Task, work: int, on_end: Callable[[], None]) -> None:
+        """Give *task* a new execution segment of *work* µs (at full speed)
+        ending in *on_end*."""
+        if work < 0:
+            raise ValueError("segment work cannot be negative")
+        if task.state == TaskState.RUNNING:
+            # Checkpoint under the *old* segment/spin state first.
+            self.update_curr(task.cpu)  # type: ignore[arg-type]
+        task.remaining_work = work
+        task.on_segment_end = on_end
+        task.spinning = False
+        if task.state == TaskState.RUNNING:
+            self._program(self.rq_of(task))
+
+    def set_spin(self, task: Task) -> None:
+        """Put *task* into busy-wait mode (MPI progress loop)."""
+        if task.state == TaskState.RUNNING:
+            self.update_curr(task.cpu)  # type: ignore[arg-type]
+        task.remaining_work = None
+        task.on_segment_end = None
+        task.spinning = True
+        if task.state == TaskState.RUNNING:
+            self._program(self.rq_of(task))
+
+    def charge_overhead(self, cpu_id: int, cost: int) -> None:
+        """Charge *cost* µs of kernel bookkeeping to whatever runs on the
+        CPU (balance attempts, etc.)."""
+        rq = self.rqs[cpu_id]
+        if rq.curr is None or rq.curr.is_idle:
+            return
+        self.update_curr(cpu_id)
+        rq.curr.pending_delay += cost
+        self._program(rq)
+
+    # ------------------------------------------------------------- dispatch
+
+    def _dispatch(self, rq: CpuRunqueue, prev: Optional[Task] = None) -> None:
+        """Pick the next task for *rq* (whose ``curr`` is None) and switch."""
+        assert rq.curr is None
+        next_task: Optional[Task] = None
+        for cls in rq.classes:
+            # New-idle balancing: before settling for the idle task, give the
+            # balancer one chance to pull work here (kernel: idle_balance()).
+            if cls.name == "idle" and self.newidle_hook is not None:
+                if self.newidle_hook(rq.cpu_id):
+                    if rq.curr is not None:
+                        return  # the pull already dispatched this CPU
+                    self._dispatch(rq, prev=prev)
+                    return
+            next_task = cls.pick_next(rq.queues[cls.name])
+            if next_task is not None:
+                break
+        assert next_task is not None, "idle class must always supply a task"
+        self._switch_to(rq, next_task, prev)
+
+    def _switch_to(self, rq: CpuRunqueue, next_task: Task, prev: Optional[Task]) -> None:
+        now = self.sim.now
+        # Busy state may flip (idle <-> task): settle neighbours first.
+        self._checkpoint_siblings(rq.cpu_id)
+        if next_task is not prev:
+            self.perf.record_context_switch(rq.cpu_id)
+            next_task.nr_switches += 1
+            if not next_task.is_idle:
+                next_task.pending_delay += self.config.switch_cost
+            if self.switch_hooks and prev is not None:
+                for hook in self.switch_hooks:
+                    hook(now, rq.cpu_id, prev, next_task)
+        next_task.state = TaskState.RUNNING
+        next_task.cpu = rq.cpu_id
+        next_task.last_cpu = rq.cpu_id
+        if next_task.warmth is None:
+            next_task.warmth = self.warmth.new_task(rq.cpu_id)
+            self._snapshot_eviction(next_task)
+        elif not next_task.is_idle:
+            self._apply_lazy_eviction(next_task)
+        rq.curr = next_task
+        rq.exec_start = now
+        self._program(rq)
+        self._reprogram_core_siblings(rq.cpu_id)
+
+    def _reprogram_core_siblings(self, cpu_id: int) -> None:
+        """An SMT sibling's busy state changed: checkpoint and re-arm the
+        other threads of this core so their rates update."""
+        cpu = self.machine.cpu(cpu_id)
+        for thread in cpu.core.threads:
+            if thread.cpu_id == cpu_id:
+                continue
+            sib_rq = self.rqs[thread.cpu_id]
+            if sib_rq.curr is not None and not sib_rq.curr.is_idle:
+                self.update_curr(thread.cpu_id)
+                self._program(sib_rq)
+
+    # ---------------------------------------------------------------- timer
+
+    def _program(self, rq: CpuRunqueue) -> None:
+        """Re-arm the CPU's single timer for the earlier of segment
+        completion and slice expiry."""
+        if rq.timer_event is not None:
+            rq.timer_event.cancel()
+            rq.timer_event = None
+        p = rq.curr
+        if p is None or p.is_idle:
+            return
+        # Bring accounting up to date so remaining_work/slice_used are fresh
+        # relative to `now` (idempotent when already checkpointed).
+        self.update_curr(rq.cpu_id)
+        now = self.sim.now
+        candidates = []
+        if not p.spinning and p.remaining_work is not None:
+            if p.remaining_work <= _WORK_EPSILON:
+                t_done = now + max(p.pending_delay, 1)
+            else:
+                rate = self._base_rate(rq)
+                assert p.warmth is not None
+                t_done = (
+                    now
+                    + p.pending_delay
+                    + self.warmth.time_for_work(p.warmth, p.remaining_work, rate)
+                )
+            candidates.append((max(t_done, now + 1), "complete"))
+        cls = rq.class_of(p)
+        slice_us = cls.task_slice(rq.queues[cls.name], p)
+        if slice_us is not None:
+            t_slice = now + max(slice_us - p.slice_used, 1)
+            candidates.append((t_slice, "slice"))
+        if not candidates:
+            if p.spinning:
+                return  # a spinner with no class peers runs untimed
+            raise RuntimeError(
+                f"runnable {p!r} has neither work nor slice nor spin — the "
+                "application layer must give every running task a segment"
+            )
+        t_fire, kind = min(candidates)
+        rq.timer_event = self.sim.at(
+            t_fire,
+            lambda cpu_id=rq.cpu_id, kind=kind: self._on_cpu_timer(cpu_id, kind),
+            priority=5,
+            label=f"cpu{rq.cpu_id}:{kind}",
+        )
+
+    def _on_cpu_timer(self, cpu_id: int, kind: str) -> None:
+        rq = self.rqs[cpu_id]
+        rq.timer_event = None
+        p = rq.curr
+        if p is None or p.is_idle:
+            return  # stale fire after a state change at the same instant
+        self.update_curr(cpu_id)
+        if (
+            kind == "complete"
+            and p.remaining_work is not None
+            and p.remaining_work <= _WORK_EPSILON
+            and p.pending_delay == 0
+        ):
+            p.remaining_work = 0
+            callback = p.on_segment_end
+            p.on_segment_end = None
+            if callback is None:
+                raise RuntimeError(f"{p!r} completed a segment with no handler")
+            callback()
+            # The handler must have blocked/exited/re-segmented the task.
+            if (
+                rq.curr is p
+                and p.remaining_work == 0
+                and not p.spinning
+            ):
+                raise RuntimeError(
+                    f"segment handler for {p!r} left it running with no work"
+                )
+            if rq.curr is p:
+                self._program(rq)
+            return
+        # Slice expiry (or a completion that rounding left marginally short:
+        # reprogramming converges because time_for_work >= 1).
+        cls = rq.class_of(p)
+        slice_us = cls.task_slice(rq.queues[cls.name], p)
+        if kind == "slice" and slice_us is not None and p.slice_used >= slice_us:
+            self.preempt_curr(rq)
+        else:
+            self._program(rq)

@@ -1,0 +1,208 @@
+"""Task model (the simulator's ``task_struct``).
+
+A :class:`Task` carries scheduling state (policy, priorities, vruntime),
+placement state (current CPU, affinity, cache warmth), accounting (run time,
+context switches, migrations) and a small *work program* interface the
+application layer drives:
+
+* ``remaining_work`` — µs of work left in the current execution segment, or
+  ``None`` while the task is **spinning** (busy-waiting in an MPI progress
+  loop: it consumes CPU but accomplishes no accounted work and politely
+  yields, which matters for how the two kernels treat it — see
+  ``repro.apps.mpi``).
+* ``on_segment_end`` — callback invoked by the scheduler core when the
+  segment's work completes; it decides what the task does next (start a new
+  segment, block, exit).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Optional
+
+__all__ = ["TaskState", "SchedPolicy", "Task", "NICE_0_WEIGHT", "nice_to_weight"]
+
+
+class TaskState:
+    """Task lifecycle states."""
+
+    NEW = "new"          #: created, never enqueued
+    RUNNABLE = "runnable"  #: on a run queue, waiting for a CPU
+    RUNNING = "running"    #: currently on a CPU
+    SLEEPING = "sleeping"  #: blocked, off all run queues
+    EXITED = "exited"      #: terminated
+
+    ALL = (NEW, RUNNABLE, RUNNING, SLEEPING, EXITED)
+
+
+class SchedPolicy:
+    """Scheduling policies, mapping to Linux policy constants plus the
+    paper's new HPC policies."""
+
+    NORMAL = "SCHED_NORMAL"   #: CFS
+    BATCH = "SCHED_BATCH"     #: CFS without wakeup preemption
+    FIFO = "SCHED_FIFO"       #: real-time, run to block
+    RR = "SCHED_RR"           #: real-time, round robin
+    HPC = "SCHED_HPC"         #: the paper's HPL class (round robin)
+    IDLE = "SCHED_IDLE"       #: the per-CPU idle task
+
+    ALL = (NORMAL, BATCH, FIFO, RR, HPC, IDLE)
+
+    #: Policies handled by the real-time class.
+    RT = (FIFO, RR)
+    #: Policies handled by the fair (CFS) class.
+    FAIR = (NORMAL, BATCH)
+
+
+# The kernel's prio_to_weight[] table: weight of a nice-n task, with nice 0
+# = 1024 and each nice level worth ~10% CPU (kernel/sched.c, 2.6.34).
+_PRIO_TO_WEIGHT = (
+    88761, 71755, 56483, 46273, 36291,   # -20 .. -16
+    29154, 23254, 18705, 14949, 11916,   # -15 .. -11
+    9548, 7620, 6100, 4904, 3906,        # -10 .. -6
+    3121, 2501, 1991, 1586, 1277,        # -5 .. -1
+    1024,                                # 0
+    820, 655, 526, 423, 335,             # 1 .. 5
+    272, 215, 172, 137, 110,             # 6 .. 10
+    87, 70, 56, 45, 36,                  # 11 .. 15
+    29, 23, 18, 15,                      # 16 .. 19
+)
+
+NICE_0_WEIGHT = 1024
+
+
+def nice_to_weight(nice: int) -> int:
+    """CFS load weight for a nice level (validated to [-20, 19])."""
+    if not -20 <= nice <= 19:
+        raise ValueError(f"nice value {nice} out of range [-20, 19]")
+    return _PRIO_TO_WEIGHT[nice + 20]
+
+
+class Task:
+    """One schedulable entity."""
+
+    __slots__ = (
+        "pid",
+        "name",
+        "policy",
+        "nice",
+        "rt_priority",
+        "state",
+        "cpu",
+        "last_cpu",
+        "affinity",
+        "vruntime",
+        "exec_start",
+        "sum_exec_runtime",
+        "last_ran_at",
+        "sleep_start",
+        "slice_used",
+        "remaining_work",
+        "on_segment_end",
+        "spinning",
+        "pending_delay",
+        "evict_snapshot",
+        "nr_migrations",
+        "nr_switches",
+        "nr_voluntary_switches",
+        "nr_involuntary_switches",
+        "warmth",
+        "is_kernel_thread",
+        "created_at",
+        "exited_at",
+        "user_data",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        name: str,
+        policy: str = SchedPolicy.NORMAL,
+        *,
+        nice: int = 0,
+        rt_priority: int = 0,
+        affinity: Optional[FrozenSet[int]] = None,
+        is_kernel_thread: bool = False,
+    ) -> None:
+        if policy not in SchedPolicy.ALL:
+            raise ValueError(f"unknown policy {policy!r}")
+        if policy in SchedPolicy.RT and not 1 <= rt_priority <= 99:
+            raise ValueError("RT tasks need rt_priority in [1, 99]")
+        nice_to_weight(nice)  # validates range
+
+        self.pid = pid
+        self.name = name
+        self.policy = policy
+        self.nice = nice
+        self.rt_priority = rt_priority
+        self.state = TaskState.NEW
+        #: CPU the task occupies while RUNNING, or is queued on while RUNNABLE.
+        self.cpu: Optional[int] = None
+        #: CPU the task last executed on (for migration counting and wake placement).
+        self.last_cpu: Optional[int] = None
+        self.affinity = affinity
+        self.vruntime = 0
+        self.exec_start = 0
+        self.sum_exec_runtime = 0
+        self.last_ran_at = 0
+        self.sleep_start = 0
+        self.slice_used = 0
+        self.remaining_work: Optional[int] = None
+        self.on_segment_end: Optional[Callable[[], None]] = None
+        self.spinning = False
+        #: µs of dead time (context-switch / migration / balance direct cost)
+        #: the task must burn before its work progresses again.
+        self.pending_delay = 0
+        #: eviction-clock snapshot of the task's home core, taken when it
+        #: stops running there (lazy cache-eviction accounting).
+        self.evict_snapshot = 0
+        self.nr_migrations = 0
+        self.nr_switches = 0
+        self.nr_voluntary_switches = 0
+        self.nr_involuntary_switches = 0
+        self.warmth = None  # set by the kernel when the task first runs
+        self.is_kernel_thread = is_kernel_thread
+        self.created_at = 0
+        self.exited_at: Optional[int] = None
+        #: free-form slot for the application layer (e.g. its MPI rank object)
+        self.user_data = None
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def weight(self) -> int:
+        """CFS load weight derived from nice (RT/HPC tasks count as nice-0
+        weight for run-queue load purposes, as the stock balancer does when
+        it counts runnable tasks)."""
+        if self.policy in SchedPolicy.FAIR:
+            return nice_to_weight(self.nice)
+        return NICE_0_WEIGHT
+
+    @property
+    def is_hpc(self) -> bool:
+        return self.policy == SchedPolicy.HPC
+
+    @property
+    def is_rt(self) -> bool:
+        return self.policy in SchedPolicy.RT
+
+    @property
+    def is_fair(self) -> bool:
+        return self.policy in SchedPolicy.FAIR
+
+    @property
+    def is_idle(self) -> bool:
+        return self.policy == SchedPolicy.IDLE
+
+    @property
+    def alive(self) -> bool:
+        return self.state != TaskState.EXITED
+
+    def allows_cpu(self, cpu_id: int) -> bool:
+        """Whether the task's affinity mask admits *cpu_id*."""
+        return self.affinity is None or cpu_id in self.affinity
+
+    def __repr__(self) -> str:
+        return (
+            f"<Task {self.pid} {self.name!r} {self.policy} {self.state}"
+            f" cpu={self.cpu}>"
+        )

@@ -1,0 +1,23 @@
+"""First-order cache performance model.
+
+The paper attributes the *indirect* cost of scheduling noise to cache
+effects: "a non-HPC process may evict some of the HPC task's cache lines,
+causing extra misses when the HPC task restarts", and "when the OS moves a
+task to another CPU, that task may lose its cache contents and cannot run at
+full speed until the cache rewarms" (§III).
+
+:class:`~repro.memsim.warmth.WarmthModel` captures exactly those two effects
+with a scalar per-task *warmth* state.
+"""
+
+from repro.memsim.warmth import WarmthModel, WarmthParams, TaskWarmth
+from repro.memsim.tlb import TlbModel, TlbParams, TlbAssessment
+
+__all__ = [
+    "WarmthModel",
+    "WarmthParams",
+    "TaskWarmth",
+    "TlbModel",
+    "TlbParams",
+    "TlbAssessment",
+]

@@ -1,0 +1,114 @@
+"""First-order TLB model (paper future work, §VI/§VII).
+
+Shmueli et al. (the paper's [35]) found TLB misses to be a main limiter of
+Linux scalability on Blue Gene/L, largely fixed by HugeTLB; the paper plans
+"taking into account ... TLB performance" and "the same technique with HPL".
+This module provides the accounting for that extension:
+
+* a task's working set of ``footprint_kib`` is mapped by
+  ``ceil(footprint / page_kib)`` pages; the TLB holds ``tlb_entries``;
+* steady-state coverage below 1.0 costs a per-access miss penalty, folded
+  into an execution-speed factor (like the cache-warmth factor);
+* context switches flush the TLB (no ASIDs on the modelled cores): a
+  refill transient of ``refill_cost_us`` per resident entry is charged.
+
+The interesting output is the **hugepage experiment**: the same working set
+with 4 KiB vs 16 MiB pages — coverage jumps from a few percent to 1.0 and
+both the steady-state drag and the per-switch refill collapse, which is the
+Shmueli result in miniature (see ``benchmarks/test_bench_tlb.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TlbParams", "TlbModel", "TlbAssessment"]
+
+
+@dataclass(frozen=True)
+class TlbParams:
+    """TLB geometry and costs.
+
+    Defaults approximate a POWER6-class ERAT/TLB: 1024 entries, ~50-cycle
+    (≈0.013 µs at 4 GHz) miss penalty, refills charged per entry.
+    """
+
+    tlb_entries: int = 1024
+    page_kib: int = 4
+    miss_penalty_us: float = 0.013
+    #: Mean µs of execution between touching a *new* page (locality knob):
+    #: lower = more TLB-hungry.
+    access_spread_us: float = 0.08
+    refill_cost_us: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.tlb_entries < 1 or self.page_kib < 1:
+            raise ValueError("geometry must be positive")
+        if min(self.miss_penalty_us, self.access_spread_us, self.refill_cost_us) <= 0:
+            raise ValueError("costs must be positive")
+
+    def with_hugepages(self, huge_kib: int = 16 * 1024) -> "TlbParams":
+        """The HugeTLB variant: same machine, bigger pages."""
+        return TlbParams(
+            tlb_entries=self.tlb_entries,
+            page_kib=huge_kib,
+            miss_penalty_us=self.miss_penalty_us,
+            access_spread_us=self.access_spread_us,
+            refill_cost_us=self.refill_cost_us,
+        )
+
+
+@dataclass(frozen=True)
+class TlbAssessment:
+    """Steady-state TLB behaviour of one working set."""
+
+    pages: int
+    coverage: float          #: fraction of the working set the TLB maps
+    miss_rate: float         #: misses per page-touch at steady state
+    speed_factor: float      #: execution-speed multiplier in (0, 1]
+    switch_refill_us: float  #: transient cost after a context switch
+
+
+class TlbModel:
+    """Evaluates working sets against a TLB configuration."""
+
+    def __init__(self, params: TlbParams = TlbParams()) -> None:
+        self.params = params
+
+    def pages_for(self, footprint_kib: int) -> int:
+        if footprint_kib < 0:
+            raise ValueError("footprint cannot be negative")
+        return max(1, math.ceil(footprint_kib / self.params.page_kib))
+
+    def assess(self, footprint_kib: int) -> TlbAssessment:
+        """Steady-state assessment of a *footprint_kib* working set."""
+        p = self.params
+        pages = self.pages_for(footprint_kib)
+        coverage = min(1.0, p.tlb_entries / pages)
+        # Random-touch steady state: a touch misses when its page is one of
+        # the uncovered fraction.
+        miss_rate = 1.0 - coverage
+        # Each access_spread_us of execution touches one page; a miss adds
+        # the penalty on top.
+        drag = miss_rate * p.miss_penalty_us / p.access_spread_us
+        speed = 1.0 / (1.0 + drag)
+        resident = min(pages, p.tlb_entries)
+        return TlbAssessment(
+            pages=pages,
+            coverage=coverage,
+            miss_rate=miss_rate,
+            speed_factor=speed,
+            switch_refill_us=resident * p.refill_cost_us,
+        )
+
+    def hugepage_speedup(self, footprint_kib: int, huge_kib: int = 16 * 1024) -> float:
+        """Steady-state speedup of switching this working set to hugepages
+        (the Shmueli-style headline number)."""
+        small = self.assess(footprint_kib)
+        big = TlbModel(self.params.with_hugepages(huge_kib)).assess(footprint_kib)
+        return big.speed_factor / small.speed_factor
+
+    def switch_cost_us(self, footprint_kib: int) -> float:
+        """Extra µs a context switch costs this task in TLB refills."""
+        return self.assess(footprint_kib).switch_refill_us

@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides the three primitives everything else is built on:
+
+* :class:`~repro.sim.engine.Simulator` — the event loop and clock.
+* :class:`~repro.sim.events.EventQueue` — a stable priority queue of timed
+  callbacks with cancellation.
+* :class:`~repro.sim.rng.RngStreams` — named, independently-seeded random
+  streams so that, e.g., adding one more noise daemon does not perturb the
+  random numbers drawn by the MPI workload (variance-reduction discipline
+  borrowed from classic simulation practice).
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngStreams
+from repro.sim.trace import SchedTrace, TraceEvent, TraceKind, attach_trace
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "RngStreams",
+    "SchedTrace",
+    "TraceEvent",
+    "TraceKind",
+    "attach_trace",
+]

@@ -1,0 +1,119 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns the clock and the event queue and runs callbacks in
+timestamp order.  It is deliberately minimal — the kernel model layers its own
+semantics (run queues, ticks, balance timers) on top by scheduling events.
+
+Design notes
+------------
+* The engine is **event-driven, not tick-stepped**: nothing fires between
+  events, so simulated seconds are nearly free.  The kernel model exploits
+  this by computing "the next instant at which anything scheduler-relevant
+  can happen" analytically instead of simulating every timer tick
+  (see ``repro.kernel.sched_core``).
+* ``run_until`` guards against runaway simulations with both a time horizon
+  and an event-count budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngStreams
+
+__all__ = ["Simulator", "SimulationLimitError"]
+
+
+class SimulationLimitError(RuntimeError):
+    """Raised when a simulation exceeds its event budget (likely a model bug
+    such as a zero-length self-rescheduling loop)."""
+
+
+class Simulator:
+    """Event loop + clock + RNG streams for one simulated machine."""
+
+    def __init__(self, seed: int = 0, *, max_events: int = 50_000_000) -> None:
+        self.now: int = 0
+        self.queue = EventQueue()
+        self.rng = RngStreams(seed)
+        self.max_events = max_events
+        self.events_processed = 0
+        self._trace_hooks: List[Callable[[int, str], None]] = []
+        self._stopped = False
+
+    # ------------------------------------------------------------------ API
+
+    def at(
+        self,
+        time: int,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback* at absolute simulated time *time* (µs)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: t={time} < now={self.now} ({label!r})"
+            )
+        return self.queue.schedule(time, callback, priority=priority, label=label)
+
+    def after(
+        self,
+        delay: int,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback* *delay* µs from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay} ({label!r})")
+        return self.queue.schedule(
+            self.now + delay, callback, priority=priority, label=label
+        )
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    def add_trace_hook(self, hook: Callable[[int, str], None]) -> None:
+        """Register a ``(time, label)`` observer called for every event fired."""
+        self._trace_hooks.append(hook)
+
+    # ------------------------------------------------------------------ run
+
+    def run_until(self, horizon: Optional[int] = None) -> int:
+        """Process events until the queue drains, *horizon* is reached, or
+        :meth:`stop` is called.  Returns the final clock value.
+
+        Events scheduled exactly at *horizon* still fire (the horizon is
+        inclusive), which lets callers use "run until the app's deadline"
+        without off-by-one surprises.
+        """
+        self._stopped = False
+        queue = self.queue
+        hooks = self._trace_hooks
+        while not self._stopped:
+            next_time = queue.peek_time()
+            if next_time is None:
+                break
+            if horizon is not None and next_time > horizon:
+                self.now = horizon
+                break
+            event = queue.pop()
+            assert event is not None
+            if event.time < self.now:  # pragma: no cover - internal invariant
+                raise AssertionError("event queue returned a past event")
+            self.now = event.time
+            self.events_processed += 1
+            if self.events_processed > self.max_events:
+                raise SimulationLimitError(
+                    f"exceeded {self.max_events} events at t={self.now}"
+                )
+            if hooks:
+                for hook in hooks:
+                    hook(self.now, event.label)
+            event.callback()
+        return self.now

@@ -1,0 +1,113 @@
+"""Timed-event priority queue.
+
+Events are ordered by ``(time, priority, seq)``: earlier time first, then a
+small integer priority (lower runs first — used to make, e.g., wakeups process
+before the balance timer at the same instant), then insertion order.  The
+explicit sequence number makes ordering total and deterministic, which keeps
+campaign replays bit-identical.
+
+Cancellation is lazy: :meth:`Event.cancel` marks the event; the queue skips
+cancelled entries when popping.  This is O(1) per cancel and avoids heap
+surgery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "EventQueue"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`EventQueue.schedule`; user code only holds
+    them to :meth:`cancel` or inspect scheduling metadata.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    # Only ever compared through the heap tuple, but define a repr for traces.
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event {self.label!r} t={self.time} prio={self.priority} {state}>"
+
+
+class EventQueue:
+    """Stable min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def schedule(
+        self,
+        time: int,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Insert a callback to fire at *time*.
+
+        ``priority`` breaks ties at equal times (lower first); ``label`` is
+        carried for tracing.  Returns the :class:`Event` handle.
+        """
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        event = Event(time, priority, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, priority, event.seq, event))
+        self._live += 1
+        return event
+
+    def peek_time(self) -> Optional[int]:
+        """Return the firing time of the next live event, or ``None``."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        _, _, _, event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,43 @@
+"""Machine topology model.
+
+The paper's scheduler decisions are driven by topology facts that are "common
+to most platforms": how many hardware threads per core, cores per chip, chips
+per machine, and which cache levels are shared between which CPUs.  This
+package models exactly that — a tree ``Machine → Chip → Core → HWThread``
+plus a cache-hierarchy description — and derives the Linux-style
+**scheduling-domain** tree the load balancer walks.
+
+The evaluation machine is the IBM *js22* blade: see
+:func:`repro.topology.presets.power6_js22`.
+"""
+
+from repro.topology.cache import CacheLevel, CacheHierarchy
+from repro.topology.machine import Machine, Chip, Core, HWThread
+from repro.topology.domains import SchedDomain, DomainLevel, build_domains
+from repro.topology.presets import (
+    power6_js22,
+    power6_single_chip,
+    generic_smp,
+    xeon_dual_socket,
+    bluegene_node,
+)
+from repro.topology.spec import machine_spec, parse_machine
+
+__all__ = [
+    "CacheLevel",
+    "CacheHierarchy",
+    "Machine",
+    "Chip",
+    "Core",
+    "HWThread",
+    "SchedDomain",
+    "DomainLevel",
+    "build_domains",
+    "power6_js22",
+    "power6_single_chip",
+    "generic_smp",
+    "xeon_dual_socket",
+    "bluegene_node",
+    "machine_spec",
+    "parse_machine",
+]

@@ -1,0 +1,166 @@
+"""Linux-style scheduling domains.
+
+Linux organizes CPUs into a tree of *scheduling domains*; load balancing runs
+per domain, at a per-level interval, moving tasks between the domain's
+*groups*.  The paper's configuration has three levels (§IV: "there are three
+domain levels: chip, core, and hardware thread").
+
+We reproduce that: for each CPU we build a chain of domains
+
+* ``SMT``  — the CPU's core; groups are the core's hardware threads;
+* ``CORE`` — the CPU's chip; groups are the chip's cores;
+* ``CHIP`` — the machine; groups are the chips.
+
+Each level has a base balance interval that grows with the level (wider
+domains balance less often), mirroring ``sd->balance_interval``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.units import msecs
+from repro.topology.machine import Machine
+
+__all__ = ["DomainLevel", "SchedDomain", "build_domains"]
+
+
+class DomainLevel:
+    """Domain level names, narrowest first."""
+
+    SMT = "smt"
+    CORE = "core"
+    CHIP = "chip"
+
+    ORDER = (SMT, CORE, CHIP)
+
+
+#: Base balance interval per level, following the kernel's convention that
+#: wider domains balance less frequently.
+DEFAULT_INTERVALS = {
+    DomainLevel.SMT: msecs(16),
+    DomainLevel.CORE: msecs(32),
+    DomainLevel.CHIP: msecs(64),
+}
+
+
+@dataclass
+class SchedDomain:
+    """One scheduling domain as seen from a particular CPU.
+
+    Attributes
+    ----------
+    level:
+        A :class:`DomainLevel` constant.
+    cpu_id:
+        The owning CPU (domains are per-CPU in Linux; groups are shared
+        conceptually but we keep the simple per-CPU view).
+    span:
+        All CPU ids covered by this domain.
+    groups:
+        Partition of ``span``; balancing equalizes load *between* groups.
+        ``groups[0]`` is always the group containing ``cpu_id`` (the local
+        group), matching the kernel's iteration order.
+    base_interval:
+        Balance interval in µs when the domain is busy; the balancer may
+        stretch it (interval backoff) while the domain stays balanced.
+    """
+
+    level: str
+    cpu_id: int
+    span: Tuple[int, ...]
+    groups: Tuple[Tuple[int, ...], ...]
+    base_interval: int
+
+    def __post_init__(self) -> None:
+        covered = sorted(c for g in self.groups for c in g)
+        if covered != sorted(self.span):
+            raise ValueError(f"domain groups {self.groups} do not partition span {self.span}")
+        if self.cpu_id not in self.groups[0]:
+            raise ValueError("groups[0] must be the local group")
+
+    @property
+    def local_group(self) -> Tuple[int, ...]:
+        return self.groups[0]
+
+    def peer_groups(self) -> Sequence[Tuple[int, ...]]:
+        return self.groups[1:]
+
+
+def build_domains(
+    machine: Machine,
+    intervals: Dict[str, int] = DEFAULT_INTERVALS,
+) -> Dict[int, List[SchedDomain]]:
+    """Build the per-CPU domain chains for *machine*.
+
+    Returns a mapping ``cpu_id -> [smt_domain, core_domain, chip_domain]``,
+    narrowest first (the order the balancer walks).  Degenerate levels (e.g.
+    one thread per core) are skipped, as the kernel does.
+    """
+    result: Dict[int, List[SchedDomain]] = {}
+    for cpu in machine.cpus:
+        chain: List[SchedDomain] = []
+
+        # SMT level: groups are the individual hardware threads of the core.
+        core_threads = [t.cpu_id for t in cpu.core.threads]
+        if len(core_threads) > 1:
+            groups = _local_first([(t,) for t in core_threads], cpu.cpu_id)
+            chain.append(
+                SchedDomain(
+                    level=DomainLevel.SMT,
+                    cpu_id=cpu.cpu_id,
+                    span=tuple(core_threads),
+                    groups=groups,
+                    base_interval=intervals[DomainLevel.SMT],
+                )
+            )
+
+        # CORE level: groups are the cores of the chip.
+        chip_cores = cpu.chip.cores
+        if len(chip_cores) > 1:
+            span = tuple(t.cpu_id for t in cpu.chip.threads)
+            groups = _local_first(
+                [tuple(t.cpu_id for t in core.threads) for core in chip_cores],
+                cpu.cpu_id,
+            )
+            chain.append(
+                SchedDomain(
+                    level=DomainLevel.CORE,
+                    cpu_id=cpu.cpu_id,
+                    span=span,
+                    groups=groups,
+                    base_interval=intervals[DomainLevel.CORE],
+                )
+            )
+
+        # CHIP level: groups are the chips of the machine.
+        if machine.n_chips > 1:
+            span = tuple(t.cpu_id for t in machine.cpus)
+            groups = _local_first(
+                [tuple(t.cpu_id for t in chip.threads) for chip in machine.chips],
+                cpu.cpu_id,
+            )
+            chain.append(
+                SchedDomain(
+                    level=DomainLevel.CHIP,
+                    cpu_id=cpu.cpu_id,
+                    span=span,
+                    groups=groups,
+                    base_interval=intervals[DomainLevel.CHIP],
+                )
+            )
+
+        result[cpu.cpu_id] = chain
+    return result
+
+
+def _local_first(
+    groups: List[Tuple[int, ...]], cpu_id: int
+) -> Tuple[Tuple[int, ...], ...]:
+    """Reorder *groups* so the group containing *cpu_id* comes first."""
+    local = [g for g in groups if cpu_id in g]
+    others = [g for g in groups if cpu_id not in g]
+    if len(local) != 1:
+        raise ValueError(f"cpu {cpu_id} must appear in exactly one group")
+    return tuple(local + others)

@@ -1,0 +1,75 @@
+"""Time and unit helpers.
+
+The whole simulator uses **integer microseconds** as its time base.  Integer
+time keeps event ordering exact and reproducible across platforms (no float
+rounding), which matters because the experiments in the paper are statistical:
+a reproduction must be able to re-run a 1000-repetition campaign and get the
+identical sample.
+
+All public APIs that accept durations take integer microseconds unless the
+parameter name says otherwise (``*_s`` for seconds, ``*_ms`` for
+milliseconds).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "USEC",
+    "MSEC",
+    "SEC",
+    "usecs",
+    "msecs",
+    "secs",
+    "to_seconds",
+    "to_msecs",
+    "fmt_time",
+]
+
+#: One microsecond (the base unit).
+USEC: int = 1
+#: Microseconds per millisecond.
+MSEC: int = 1_000
+#: Microseconds per second.
+SEC: int = 1_000_000
+
+
+def usecs(value: float) -> int:
+    """Return *value* microseconds as an integer time quantity."""
+    return int(round(value))
+
+
+def msecs(value: float) -> int:
+    """Return *value* milliseconds in microseconds."""
+    return int(round(value * MSEC))
+
+
+def secs(value: float) -> int:
+    """Return *value* seconds in microseconds."""
+    return int(round(value * SEC))
+
+
+def to_seconds(t: int) -> float:
+    """Convert integer microseconds to float seconds."""
+    return t / SEC
+
+
+def to_msecs(t: int) -> float:
+    """Convert integer microseconds to float milliseconds."""
+    return t / MSEC
+
+
+def fmt_time(t: int) -> str:
+    """Render a time quantity human-readably (for traces and reports).
+
+    >>> fmt_time(1_500_000)
+    '1.500s'
+    >>> fmt_time(2_500)
+    '2.500ms'
+    >>> fmt_time(42)
+    '42us'
+    """
+    if t >= SEC:
+        return f"{t / SEC:.3f}s"
+    if t >= MSEC:
+        return f"{t / MSEC:.3f}ms"
+    return f"{t}us"

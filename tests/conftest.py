@@ -1,0 +1,46 @@
+"""Shared fixtures: machines, kernels, and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.daemons import quiet_profile
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.topology.presets import generic_smp, power6_js22
+
+
+@pytest.fixture
+def js22():
+    return power6_js22()
+
+
+@pytest.fixture
+def smp4():
+    return generic_smp(4)
+
+
+@pytest.fixture
+def stock_kernel(js22):
+    """A stock kernel on the js22 with no noise."""
+    return Kernel(js22, KernelConfig.stock(), seed=1)
+
+
+@pytest.fixture
+def hpl_kernel(js22):
+    """An HPL kernel on the js22 with no noise."""
+    return Kernel(js22, KernelConfig.hpl(), seed=1)
+
+
+@pytest.fixture
+def quiet():
+    return quiet_profile()
+
+
+def run_to_completion(kernel, horizon=600_000_000):
+    """Drive a kernel's simulator until quiescence or *horizon*."""
+    return kernel.sim.run_until(horizon)
+
+
+@pytest.fixture
+def drive():
+    return run_to_completion

@@ -1,0 +1,207 @@
+"""Tests for the MPI runtime model: barriers, waits, timing, exits."""
+
+import pytest
+
+from repro.apps.mpi import MpiApplication
+from repro.apps.spmd import Phase, PhaseKind, Program
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.sched_core import SchedCoreConfig
+from repro.kernel.task import SchedPolicy, TaskState
+from repro.memsim.warmth import WarmthParams
+from repro.topology.presets import generic_smp, power6_js22
+from repro.units import msecs, secs
+
+
+def clean_kernel(machine=None, variant="stock"):
+    core = SchedCoreConfig(switch_cost=0, migration_cost=0, tick_overhead=0.0)
+    warmth = WarmthParams(initial_warmth=1.0)
+    cfg = (
+        KernelConfig.hpl(core=core, warmth=warmth)
+        if variant == "hpl"
+        else KernelConfig.stock(core=core, warmth=warmth)
+    )
+    return Kernel(machine or generic_smp(4), cfg, seed=0)
+
+
+def simple_program(n_iters=3, iter_work=msecs(2), **kw):
+    return Program.iterative(
+        name="app", n_iters=n_iters, iter_work=iter_work,
+        init_ops=kw.pop("init_ops", 2), startup_work=kw.pop("startup_work", 1000),
+        finalize_ops=kw.pop("finalize_ops", 1), **kw
+    )
+
+
+def run_app(kernel, program, nprocs=4, **launch_kw):
+    app = MpiApplication(kernel, program, nprocs, on_complete=lambda a: kernel.sim.stop())
+    app.launch(**launch_kw)
+    kernel.sim.run_until(secs(300))
+    return app
+
+
+def test_app_completes_and_reports_time():
+    kernel = clean_kernel()
+    app = run_app(kernel, simple_program())
+    assert app.done
+    stats = app.stats
+    assert stats.app_time is not None and stats.app_time > 0
+    assert stats.wall_time >= stats.app_time
+    assert all(t.state == TaskState.EXITED for t in app.rank_tasks())
+
+
+def test_app_time_close_to_ideal_on_clean_machine():
+    kernel = clean_kernel()
+    n, w = 5, msecs(4)
+    program = simple_program(n_iters=n, iter_work=w)
+    app = run_app(kernel, program)
+    ideal = n * w
+    assert ideal <= app.stats.app_time <= ideal * 1.1
+
+
+def test_barrier_waits_for_slowest_rank():
+    """One delayed rank stretches the whole application (Fig. 1)."""
+    def run(with_hog):
+        kernel = clean_kernel()
+        program = simple_program(n_iters=2, iter_work=msecs(5))
+        app = MpiApplication(kernel, program, 4, on_complete=lambda a: kernel.sim.stop())
+        # Pin ranks so the balancer cannot rescue the preempted rank by
+        # migrating it — isolating the pure Fig. 1 effect.
+        app.launch(pin=True)
+        if with_hog:
+            victim_cpu = app.ranks[0].task.cpu
+            hog = kernel.spawn("hog", work=msecs(10), on_segment_end=lambda: None,
+                               policy=SchedPolicy.FIFO, rt_priority=90,
+                               affinity=frozenset({victim_cpu}))
+            hog.on_segment_end = lambda: kernel.exit(hog)
+        kernel.sim.run_until(secs(300))
+        return app.stats.wall_time
+
+    clean = run(False)
+    disturbed = run(True)
+    # The 10ms theft from ONE rank shows up nearly in full in total time.
+    assert disturbed >= clean + msecs(8)
+
+
+def test_ranks_lockstep_through_syncs():
+    kernel = clean_kernel()
+    app = run_app(kernel, simple_program(n_iters=4))
+    # All ranks ended at the same final position.
+    assert len({r.pos for r in app.ranks}) == 1
+
+
+def test_block_wait_mode_sleeps_ranks():
+    kernel = clean_kernel()
+    program = Program.iterative(
+        name="blocky", n_iters=3, iter_work=msecs(1),
+        jitter_sigma=0.5,  # spread arrivals
+        init_ops=0, finalize_ops=0, wait_mode="block",
+    )
+    app = run_app(kernel, program)
+    # Blocking at barriers produces voluntary switches on early ranks.
+    vol = sum(t.nr_voluntary_switches for t in app.rank_tasks())
+    assert vol >= 3
+
+
+def test_spin_timeout_blocks_late_barrier():
+    kernel = clean_kernel()
+    program = Program.iterative(
+        name="spinny", n_iters=1, iter_work=msecs(1),
+        init_ops=0, finalize_ops=0, spin_threshold=500,
+    )
+    app = MpiApplication(kernel, program, 4, on_complete=lambda a: kernel.sim.stop())
+    app.launch()
+    # Delay rank 0 by 5ms with an RT hog so others exceed the spin budget.
+    victim_cpu = app.ranks[0].task.cpu
+    hog = kernel.spawn("hog", work=msecs(5), on_segment_end=lambda: None,
+                       policy=SchedPolicy.FIFO, rt_priority=90,
+                       affinity=frozenset({victim_cpu}))
+    hog.on_segment_end = lambda: kernel.exit(hog)
+    kernel.sim.run_until(secs(300))
+    assert app.done
+    others = [t for i, t in enumerate(app.rank_tasks()) if i != 0]
+    assert any(t.nr_voluntary_switches > 0 for t in others)
+
+
+def test_per_run_jitter_is_deterministic_per_seed():
+    times = []
+    for _ in range(2):
+        kernel = clean_kernel()
+        program = Program.iterative(
+            name="jit", n_iters=3, iter_work=msecs(2),
+            run_jitter_sigma=0.1, init_ops=0, finalize_ops=0,
+        )
+        app = run_app(kernel, program)
+        times.append(app.stats.app_time)
+    assert times[0] == times[1]
+
+
+def test_jitter_changes_with_seed():
+    def one(seed):
+        core = SchedCoreConfig(switch_cost=0, migration_cost=0, tick_overhead=0.0)
+        kernel = Kernel(generic_smp(4), KernelConfig.stock(core=core), seed=seed)
+        program = Program.iterative(
+            name="jit", n_iters=3, iter_work=msecs(2),
+            run_jitter_sigma=0.2, init_ops=0, finalize_ops=0,
+        )
+        return run_app(kernel, program).stats.app_time
+
+    assert one(1) != one(2)
+
+
+def test_launch_pin_binds_rank_i_to_cpu_i():
+    kernel = clean_kernel()
+    app = MpiApplication(kernel, simple_program(), 4)
+    app.launch(pin=True)
+    for i, rank in enumerate(app.ranks):
+        assert rank.task.affinity == frozenset({i})
+        assert rank.task.cpu == i
+
+
+def test_launch_policy_override():
+    kernel = clean_kernel()
+    app = MpiApplication(kernel, simple_program(), 2)
+    app.launch(policy=SchedPolicy.FIFO, rt_priority=33)
+    assert all(t.policy == SchedPolicy.FIFO for t in app.rank_tasks())
+    assert all(t.rt_priority == 33 for t in app.rank_tasks())
+
+
+def test_double_launch_rejected():
+    kernel = clean_kernel()
+    app = MpiApplication(kernel, simple_program(), 2)
+    app.launch()
+    with pytest.raises(RuntimeError):
+        app.launch()
+
+
+def test_ranks_must_spawn_in_order():
+    kernel = clean_kernel()
+    app = MpiApplication(kernel, simple_program(), 3)
+    app.begin_launch()
+    app.spawn_rank(0)
+    with pytest.raises(ValueError):
+        app.spawn_rank(2)
+
+
+def test_program_must_start_with_compute():
+    kernel = clean_kernel()
+    bad = Program((Phase(PhaseKind.SYNC),), name="bad")
+    app = MpiApplication(kernel, bad, 2)
+    with pytest.raises(ValueError):
+        app.launch()
+
+
+def test_more_ranks_than_cpus_still_completes():
+    kernel = clean_kernel(generic_smp(2))
+    program = simple_program(n_iters=2, iter_work=msecs(2))
+    app = run_app(kernel, program, nprocs=4)
+    assert app.done
+
+
+def test_hpl_ranks_complete_on_js22():
+    kernel = clean_kernel(power6_js22(), variant="hpl")
+    program = simple_program(n_iters=3, iter_work=msecs(3))
+    app = MpiApplication(kernel, program, 8, on_complete=lambda a: kernel.sim.stop())
+    app.launch(policy=SchedPolicy.HPC)
+    kernel.sim.run_until(secs(300))
+    assert app.done
+    # One rank per CPU, never migrated after placement.
+    assert sorted(t.last_cpu for t in app.rank_tasks()) == list(range(8))

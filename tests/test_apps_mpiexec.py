@@ -1,0 +1,128 @@
+"""Tests for the perf/chrt/mpiexec launcher chain and its accounting."""
+
+import pytest
+
+from repro.apps.mpiexec import JobResult, LaunchMode, MpiJob
+from repro.apps.nas import nas_program, nas_spec
+from repro.apps.spmd import Program
+from repro.kernel.daemons import DaemonSet, quiet_profile
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.task import SchedPolicy
+from repro.topology.presets import power6_js22
+from repro.units import msecs, secs
+
+
+def tiny_program(n_iters=3, iter_work=msecs(2)):
+    # startup_work must cover mpiexec's fork-staggering window: ranks that
+    # sleep during their siblings' forks are invisible to runnable-count
+    # placement (real MPI_Init busy-polls through this phase too).
+    return Program.iterative(
+        name="tiny", n_iters=n_iters, iter_work=iter_work,
+        init_ops=3, startup_work=msecs(4), finalize_ops=1,
+    )
+
+
+def run_job(variant, mode, nprocs=8, seed=0, program=None):
+    machine = power6_js22()
+    cfg = KernelConfig.hpl() if variant == "hpl" else KernelConfig.stock()
+    kernel = Kernel(machine, cfg, seed=seed)
+    job = MpiJob(
+        kernel, program or tiny_program(), nprocs, mode=mode,
+        on_complete=lambda r: kernel.sim.stop(),
+    )
+    job.start(at=msecs(10))
+    kernel.sim.run_until(secs(600))
+    assert job.result is not None
+    return job
+
+
+def test_mode_validation():
+    kernel = Kernel(power6_js22(), KernelConfig.stock(), seed=0)
+    with pytest.raises(ValueError):
+        MpiJob(kernel, tiny_program(), 8, mode="bogus")
+    with pytest.raises(ValueError):
+        MpiJob(kernel, tiny_program(), 8, mode=LaunchMode.HPC)  # needs HPL
+
+
+def test_chain_completes_and_measures():
+    job = run_job("stock", LaunchMode.CFS)
+    r = job.result
+    assert r.app_time > 0
+    assert r.wall_time > r.app_time
+    assert r.context_switches > 0
+    assert r.cpu_migrations > 0
+    assert r.perf.wall_time > 0
+
+
+def test_hpc_mode_ranks_inherit_class():
+    job = run_job("hpl", LaunchMode.HPC)
+    assert all(t.policy == SchedPolicy.HPC for t in job.app.rank_tasks())
+    assert job._mpiexec_task.policy == SchedPolicy.HPC
+    assert job._chrt_task.policy == SchedPolicy.HPC
+    assert job._perf_task.policy == SchedPolicy.NORMAL  # perf stays CFS
+
+
+def test_rt_mode_ranks_inherit_fifo():
+    job = run_job("stock", LaunchMode.RT)
+    assert all(t.policy == SchedPolicy.FIFO for t in job.app.rank_tasks())
+    assert all(t.rt_priority == 50 for t in job.app.rank_tasks())
+
+
+def test_nice_mode_renices_ranks():
+    job = run_job("stock", LaunchMode.NICE)
+    assert all(t.nice == -15 for t in job.app.rank_tasks())
+
+
+def test_pinned_mode_binds_ranks():
+    job = run_job("stock", LaunchMode.PINNED)
+    for i, t in enumerate(job.app.rank_tasks()):
+        assert t.affinity == frozenset({i})
+    # Pinned ranks never migrate after their fork placement.
+    assert all(t.nr_migrations <= 1 for t in job.app.rank_tasks())
+
+
+def test_hpl_migration_accounting_matches_paper():
+    """§V: ~8 fork migrations + mpiexec + chrt/perf residue => ~10-18 total,
+    and the ranks themselves only migrate at fork."""
+    job = run_job("hpl", LaunchMode.HPC)
+    r = job.result
+    assert 8 <= r.cpu_migrations <= 20
+    assert all(t.nr_migrations <= 1 for t in job.app.rank_tasks())
+
+
+def test_hpl_ranks_one_per_cpu():
+    job = run_job("hpl", LaunchMode.HPC)
+    assert sorted(t.last_cpu for t in job.app.rank_tasks()) == list(range(8))
+
+
+def test_double_start_rejected():
+    kernel = Kernel(power6_js22(), KernelConfig.stock(), seed=0)
+    job = MpiJob(kernel, tiny_program(), 8)
+    job.start()
+    with pytest.raises(RuntimeError):
+        job.start()
+
+
+def test_result_fields_consistent():
+    job = run_job("stock", LaunchMode.CFS)
+    r = job.result
+    assert r.nprocs == 8
+    assert r.mode == LaunchMode.CFS
+    assert r.program_name == "tiny"
+    assert r.app_time_s == pytest.approx(r.app_time / 1e6)
+    assert r.rank_migrations <= r.cpu_migrations
+
+
+def test_perf_window_covers_launcher_residue():
+    """The perf session closes only after chrt/mpiexec teardown — their
+    wakeups are inside the window (paper §V's accounting)."""
+    job = run_job("hpl", LaunchMode.HPC)
+    # All rank migrations happened inside the window.
+    assert job.result.rank_migrations <= job.result.cpu_migrations
+
+
+def test_nas_program_runs_through_chain():
+    spec = nas_spec("is", "A")
+    program = nas_program(spec, power6_js22())
+    job = run_job("hpl", LaunchMode.HPC, program=program)
+    assert job.result.app_time_s == pytest.approx(0.35, rel=0.1)

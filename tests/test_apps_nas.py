@@ -1,0 +1,113 @@
+"""Tests for the NAS benchmark specs and calibration."""
+
+import pytest
+
+from repro.apps.nas import (
+    NAS_BENCHMARKS,
+    calibrated_iter_work,
+    clean_rate,
+    nas_program,
+    nas_spec,
+)
+from repro.apps.spmd import PhaseKind
+from repro.topology.presets import generic_smp, power6_js22
+from repro.units import secs
+
+
+def test_all_twelve_configurations_present():
+    names = {n for n, _ in NAS_BENCHMARKS}
+    assert names == {"cg", "ep", "ft", "is", "lu", "mg"}
+    assert all((n, k) in NAS_BENCHMARKS for n in names for k in ("A", "B"))
+
+
+def test_lookup_normalizes_case():
+    assert nas_spec("EP", "a") is NAS_BENCHMARKS[("ep", "A")]
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError):
+        nas_spec("bt", "A")  # omitted, like the paper's footnote 5
+
+
+def test_labels():
+    assert nas_spec("ep", "A").label == "ep.A.8"
+
+
+def test_class_b_is_bigger():
+    for name in ("cg", "ep", "ft", "is", "lu", "mg"):
+        a = nas_spec(name, "A")
+        b = nas_spec(name, "B")
+        assert b.target_time > a.target_time
+
+
+def test_ep_is_coarsest():
+    ep = nas_spec("ep", "A")
+    others = [nas_spec(n, "A") for n in ("cg", "lu", "mg")]
+    assert all(ep.n_iters < o.n_iters for o in others)
+
+
+def test_clean_rate_js22_full_occupancy():
+    m = power6_js22()
+    assert clean_rate(m, 8) == pytest.approx(0.62)
+    assert clean_rate(m, 4) == pytest.approx(1.0)  # one per core
+    assert clean_rate(m, 1) == pytest.approx(1.0)
+
+
+def test_clean_rate_validation():
+    with pytest.raises(ValueError):
+        clean_rate(power6_js22(), 0)
+
+
+def test_calibration_solves_target_time():
+    m = power6_js22()
+    for spec in NAS_BENCHMARKS.values():
+        work = calibrated_iter_work(spec, m)
+        rate = clean_rate(m, spec.nprocs)
+        per_iter = work / rate + spec.arrival_cost / rate + spec.sync_latency
+        total = per_iter * spec.n_iters
+        assert total == pytest.approx(spec.target_time, rel=0.02)
+
+
+def test_program_structure_matches_spec():
+    m = power6_js22()
+    spec = nas_spec("cg", "A")
+    program = nas_program(spec, m)
+    computes = [p for p in program.phases if p.kind == PhaseKind.COMPUTE]
+    syncs = [p for p in program.phases if p.kind == PhaseKind.SYNC]
+    # startup + n_iters computes; start barrier + n_iters syncs.
+    assert len(computes) == spec.n_iters + 1
+    assert len(syncs) == spec.n_iters + 1
+    assert program.run_jitter_sigma == spec.sigma_run
+
+
+def test_spec_validation():
+    from repro.apps.nas import NasSpec
+
+    with pytest.raises(ValueError):
+        NasSpec("x", "A", 8, target_time=0, n_iters=1, sync_latency=1,
+                arrival_cost=1, sigma_phase=0, sigma_run=0, cold_speed=0.5)
+    with pytest.raises(ValueError):
+        NasSpec("x", "A", 8, target_time=100, n_iters=1, sync_latency=1,
+                arrival_cost=1, sigma_phase=0, sigma_run=0, cold_speed=0.0)
+
+
+def test_calibration_rejects_impossible_targets():
+    from repro.apps.nas import NasSpec
+
+    spec = NasSpec("x", "A", 8, target_time=100, n_iters=100, sync_latency=50,
+                   arrival_cost=1, sigma_phase=0, sigma_run=0, cold_speed=0.5)
+    with pytest.raises(ValueError):
+        calibrated_iter_work(spec, power6_js22())
+
+
+def test_memory_bound_benchmarks_have_low_cold_speed():
+    assert nas_spec("cg", "A").cold_speed < nas_spec("ep", "A").cold_speed
+    assert nas_spec("mg", "A").cold_speed < nas_spec("ep", "A").cold_speed
+
+
+def test_calibration_adapts_to_machine():
+    spec = nas_spec("ep", "A")
+    js22_work = calibrated_iter_work(spec, power6_js22())
+    smp_work = calibrated_iter_work(spec, generic_smp(8))
+    # No SMT penalty on the flat SMP: more work fits the same wall time.
+    assert smp_work > js22_work

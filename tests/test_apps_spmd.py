@@ -1,0 +1,74 @@
+"""Tests for phase programs."""
+
+import pytest
+
+from repro.apps.spmd import Phase, PhaseKind, Program
+from repro.units import msecs
+
+
+def test_phase_validation():
+    with pytest.raises(ValueError):
+        Phase("bogus")
+    with pytest.raises(ValueError):
+        Phase(PhaseKind.COMPUTE, work=0)
+    with pytest.raises(ValueError):
+        Phase(PhaseKind.SYNC, wait_mode="nap")
+    with pytest.raises(ValueError):
+        Phase(PhaseKind.SYNC, spin_threshold=0)
+    with pytest.raises(ValueError):
+        Phase(PhaseKind.BLOCKIO, wait_mean=0)
+    with pytest.raises(ValueError):
+        Phase(PhaseKind.COMPUTE, work=10, jitter_sigma=-0.1)
+
+
+def test_program_requires_phases():
+    with pytest.raises(ValueError):
+        Program(())
+
+
+def test_program_rejects_duplicate_markers():
+    p1 = Phase(PhaseKind.SYNC, timer_start=True)
+    p2 = Phase(PhaseKind.SYNC, timer_start=True)
+    with pytest.raises(ValueError):
+        Program((p1, p2))
+
+
+def test_iterative_builder_shape():
+    prog = Program.iterative(
+        name="t", n_iters=3, iter_work=msecs(10), init_ops=2, finalize_ops=1
+    )
+    kinds = [p.kind for p in prog.phases]
+    # startup + 2 init + start barrier + 3x(compute+sync) + 1 finalize
+    assert kinds[0] == PhaseKind.COMPUTE
+    assert kinds[1:3] == [PhaseKind.BLOCKIO] * 2
+    assert kinds[3] == PhaseKind.SYNC
+    assert kinds[4:10] == [PhaseKind.COMPUTE, PhaseKind.SYNC] * 3
+    assert kinds[10] == PhaseKind.BLOCKIO
+    assert len(kinds) == 11
+
+
+def test_iterative_markers_delimit_timed_section():
+    prog = Program.iterative(name="t", n_iters=2, iter_work=1000)
+    starts = [i for i, p in enumerate(prog.phases) if p.timer_start]
+    stops = [i for i, p in enumerate(prog.phases) if p.timer_stop]
+    assert len(starts) == 1 and len(stops) == 1
+    assert starts[0] < stops[0]
+    assert prog.phases[stops[0]].kind == PhaseKind.SYNC
+
+
+def test_counts():
+    prog = Program.iterative(name="t", n_iters=4, iter_work=500, init_ops=0,
+                             finalize_ops=0, startup_work=100)
+    assert prog.n_syncs == 5  # start barrier + 4 iteration syncs
+    assert prog.total_compute == 100 + 4 * 500
+
+
+def test_iterative_validation():
+    with pytest.raises(ValueError):
+        Program.iterative(name="t", n_iters=0, iter_work=100)
+
+
+def test_spin_threshold_plumbed():
+    prog = Program.iterative(name="t", n_iters=1, iter_work=100, spin_threshold=7777)
+    syncs = [p for p in prog.phases if p.kind == PhaseKind.SYNC]
+    assert all(p.spin_threshold == 7777 for p in syncs)

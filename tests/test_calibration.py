@@ -1,0 +1,42 @@
+"""Calibration anchoring tests: the clean model must hit the paper's
+Table II HPL minima (the repository's only fitted absolute numbers)."""
+
+import pytest
+
+from repro.experiments.calibration import CalibrationRow, check_calibration, max_residual
+
+
+FAST_SET = (("is", "A"), ("cg", "A"), ("ft", "A"), ("mg", "A"), ("ep", "A"))
+
+
+def test_class_a_anchors_hold():
+    rows = check_calibration(FAST_SET, seed=1)
+    for row in rows:
+        assert row.ok, row.render()
+    assert max_residual(rows) <= 0.05
+
+
+def test_class_b_spot_check():
+    rows = check_calibration((("is", "B"), ("mg", "B")), seed=2)
+    for row in rows:
+        assert row.ok, row.render()
+
+
+def test_residual_math():
+    row = CalibrationRow("x", target_s=10.0, measured_s=10.5)
+    assert row.residual == pytest.approx(0.05)
+    assert row.ok
+    bad = CalibrationRow("y", target_s=10.0, measured_s=11.0)
+    assert not bad.ok
+    assert "DRIFT" in bad.render()
+
+
+def test_max_residual_requires_rows():
+    with pytest.raises(ValueError):
+        max_residual([])
+
+
+def test_calibration_is_deterministic():
+    a = check_calibration((("is", "A"),), seed=3)[0]
+    b = check_calibration((("is", "A"),), seed=3)[0]
+    assert a.measured_s == b.measured_s

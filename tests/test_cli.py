@@ -1,0 +1,82 @@
+"""Tests for the hpl-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["run", "ep", "A", "--regime", "hpl"])
+    assert args.command == "run"
+    assert args.bench == "ep" and args.klass == "A" and args.regime == "hpl"
+
+
+def test_parser_rejects_bad_regime():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "ep", "A", "--regime", "turbo"])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out and "tab2" in out and "ep.A.8" in out
+
+
+def test_topology_command(capsys):
+    assert main(["topology"]) == 0
+    out = capsys.readouterr().out
+    assert "power6-js22" in out
+    assert "cpu7" in out
+    assert "L2" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "is", "A", "--regime", "hpl", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "execution time" in out
+    assert "cpu-migrations" in out
+
+
+def test_campaign_command(capsys):
+    assert main(["campaign", "is", "A", "--regime", "hpl", "-n", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "3 runs" in out
+    assert "var" in out
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+
+
+def test_experiment_unknown_id():
+    with pytest.raises(KeyError):
+        main(["experiment", "fig99"])
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "noise", "-n", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Sweep" in out and "stock" in out and "hpl" in out
+
+
+def test_sweep_rejects_unknown(capsys):
+    import pytest as _pytest
+
+    with _pytest.raises(SystemExit):
+        main(["sweep", "voltage"])
+
+
+def test_list_includes_extension_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "multinode" in out and "decompose" in out
+
+
+def test_export_command(tmp_path, capsys):
+    assert main(["export", str(tmp_path), "-n", "3", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "figure2.svg" in out
+    assert (tmp_path / "figure3a.svg").exists()

@@ -1,0 +1,128 @@
+"""Tests for Amdahl utilities and the noise-resonance models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.amdahl import amdahl_speedup, efficiency, serial_fraction_from_speedup
+from repro.cluster.resonance import (
+    DelayProfile,
+    analytic_resonance,
+    measure_phase_delays,
+    resonance_curve,
+)
+from repro.units import msecs
+
+
+# ------------------------------------------------------------------- amdahl
+
+
+def test_amdahl_limits():
+    assert amdahl_speedup(1, 0.5) == pytest.approx(1.0)
+    assert amdahl_speedup(1000, 0.0) == pytest.approx(1000.0)
+    # s=0.05 caps speedup at 20.
+    assert amdahl_speedup(10**6, 0.05) == pytest.approx(20.0, rel=0.01)
+
+
+def test_amdahl_validation():
+    with pytest.raises(ValueError):
+        amdahl_speedup(0, 0.1)
+    with pytest.raises(ValueError):
+        amdahl_speedup(4, 1.5)
+
+
+def test_efficiency_decreases_with_n():
+    effs = [efficiency(n, 0.02) for n in (1, 8, 64, 512)]
+    assert effs == sorted(effs, reverse=True)
+
+
+def test_serial_fraction_round_trip():
+    s = 0.03
+    n = 64
+    sp = amdahl_speedup(n, s)
+    assert serial_fraction_from_speedup(n, sp) == pytest.approx(s, rel=1e-9)
+
+
+@given(
+    n=st.integers(2, 10_000),
+    s=st.floats(0.0, 1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_amdahl_bounds(n, s):
+    sp = amdahl_speedup(n, s)
+    assert 1.0 - 1e-9 <= sp <= n + 1e-9
+
+
+def test_serial_fraction_validation():
+    with pytest.raises(ValueError):
+        serial_fraction_from_speedup(1, 1.0)
+    with pytest.raises(ValueError):
+        serial_fraction_from_speedup(8, 9.0)
+
+
+# ---------------------------------------------------------------- resonance
+
+
+def test_delay_profile_validation():
+    with pytest.raises(ValueError):
+        DelayProfile("x", base_phase_s=0.0, delays_s=(0.1,))
+    with pytest.raises(ValueError):
+        DelayProfile("x", base_phase_s=1.0, delays_s=())
+    with pytest.raises(ValueError):
+        DelayProfile("x", base_phase_s=1.0, delays_s=(-0.1,))
+
+
+def test_analytic_resonance_approaches_one():
+    points = analytic_resonance(p=0.01, delay_s=0.002, base_phase_s=0.03,
+                                node_counts=[1, 10, 100, 1000, 100000])
+    probs = [pt.p_phase_disturbed for pt in points]
+    assert probs == sorted(probs)
+    assert probs[0] == pytest.approx(0.01)
+    assert probs[-1] > 0.999  # "approaches 1.0" (SS II)
+    slowdowns = [pt.slowdown for pt in points]
+    assert slowdowns == sorted(slowdowns)
+    assert slowdowns[-1] == pytest.approx((0.03 + 0.002) / 0.03, rel=1e-3)
+
+
+def test_analytic_validation():
+    with pytest.raises(ValueError):
+        analytic_resonance(p=1.5, delay_s=0.1, base_phase_s=1, node_counts=[1])
+    with pytest.raises(ValueError):
+        analytic_resonance(p=0.1, delay_s=0.1, base_phase_s=1, node_counts=[0])
+
+
+def test_bootstrap_resonance_monotone():
+    rng = np.random.default_rng(1)
+    # 5% of phases carry a 2ms delay.
+    delays = tuple(0.002 if rng.random() < 0.05 else 0.0 for _ in range(400))
+    profile = DelayProfile("synthetic", base_phase_s=0.03, delays_s=delays)
+    points = resonance_curve(profile, [1, 4, 16, 64, 256], n_bootstrap=50)
+    slowdowns = [pt.slowdown for pt in points]
+    assert slowdowns == sorted(slowdowns)
+    assert slowdowns[0] < slowdowns[-1]
+
+
+def test_bootstrap_large_n_uses_order_statistics():
+    profile = DelayProfile("x", base_phase_s=0.01,
+                           delays_s=tuple(np.linspace(0, 0.001, 100)))
+    points = resonance_curve(profile, [2000], n_bootstrap=10)
+    # E[max of 2000 draws] approaches the sample maximum.
+    assert points[0].expected_penalty_s == pytest.approx(0.001, rel=0.05)
+
+
+def test_measure_phase_delays_runs_simulator():
+    profile = measure_phase_delays(
+        regime="hpl", nprocs=8, n_iters=10, iter_work=msecs(5), seed=3
+    )
+    assert len(profile.delays_s) == 10
+    assert profile.base_phase_s > 0
+    assert min(profile.delays_s) == 0.0  # the fastest phase defines the base
+
+
+def test_hpl_profile_quieter_than_stock():
+    stock = measure_phase_delays(regime="stock", nprocs=8, n_iters=25,
+                                 iter_work=msecs(10), seed=5)
+    hpl = measure_phase_delays(regime="hpl", nprocs=8, n_iters=25,
+                               iter_work=msecs(10), seed=5)
+    assert hpl.mean_delay_s <= stock.mean_delay_s

@@ -1,0 +1,141 @@
+"""Quantitative fairness tests for the CFS model.
+
+The §IV analysis leans on CFS's dynamics (dynamic priority, sleeper bonus,
+fair sharing).  These tests pin the *quantitative* behaviour: nice weights
+buy proportional CPU shares, sleepers get their latency credit, and nobody
+starves.
+"""
+
+import pytest
+
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.sched_core import SchedCoreConfig
+from repro.kernel.task import SchedPolicy, TaskState, nice_to_weight
+from repro.memsim.warmth import WarmthParams
+from repro.topology.presets import generic_smp
+from repro.units import msecs, secs
+
+
+def one_cpu_kernel(seed=0):
+    core = SchedCoreConfig(switch_cost=0, migration_cost=0, tick_overhead=0.0)
+    # Neutral cache model so shares are pure scheduler arithmetic.
+    warmth = WarmthParams(initial_warmth=1.0, cold_speed=1.0)
+    return Kernel(generic_smp(1), KernelConfig.stock(core=core, warmth=warmth), seed=seed)
+
+
+def spinner_forever(kernel, name, nice=0):
+    """A CPU hog that re-arms itself indefinitely."""
+    t = kernel.spawn(name, nice=nice, work=msecs(1000), on_segment_end=lambda: None)
+
+    def rearm():
+        kernel.set_segment(t, msecs(1000), rearm)
+
+    t.on_segment_end = rearm
+    return t
+
+
+def test_nice_weights_buy_proportional_shares():
+    kernel = one_cpu_kernel()
+    heavy = spinner_forever(kernel, "heavy", nice=0)
+    light = spinner_forever(kernel, "light", nice=5)
+    kernel.sim.run_until(secs(3))
+    ratio = heavy.sum_exec_runtime / max(light.sum_exec_runtime, 1)
+    expected = nice_to_weight(0) / nice_to_weight(5)  # 1024/335 ~ 3.06
+    assert ratio == pytest.approx(expected, rel=0.15)
+
+
+def test_equal_nice_splits_evenly():
+    kernel = one_cpu_kernel()
+    a = spinner_forever(kernel, "a")
+    b = spinner_forever(kernel, "b")
+    kernel.sim.run_until(secs(2))
+    assert a.sum_exec_runtime == pytest.approx(b.sum_exec_runtime, rel=0.05)
+
+
+def test_no_starvation_under_load():
+    """Every fair task makes progress within a few latency periods."""
+    kernel = one_cpu_kernel()
+    hogs = [spinner_forever(kernel, f"h{i}") for i in range(5)]
+    kernel.sim.run_until(secs(2))
+    for t in hogs:
+        assert t.sum_exec_runtime > msecs(200)  # ~1/5 of 2s, minus slack
+
+
+def test_sleeper_gets_scheduled_promptly():
+    """A task that sleeps must run soon after waking despite a hog (the
+    sleeper credit the paper blames for daemon preemption)."""
+    kernel = one_cpu_kernel()
+    hog = spinner_forever(kernel, "hog")
+    latencies = []
+    sleeper = kernel.spawn("sleeper", work=100, on_segment_end=lambda: None)
+    state = {"wake_at": 0}
+
+    def cycle():
+        latencies.append(kernel.now - state["wake_at"] if state["wake_at"] else 0)
+        if len(latencies) >= 6:
+            kernel.exit(sleeper)
+            return
+        kernel.block(sleeper)
+
+        def wake():
+            state["wake_at"] = kernel.now
+            kernel.set_segment(sleeper, 100, cycle)
+            kernel.wake(sleeper)
+
+        kernel.sim.after(msecs(20), wake)
+
+    sleeper.on_segment_end = cycle
+    kernel.sim.run_until(secs(5))
+    # After the first cycle, wake-to-run latency stays within one slice of
+    # the hog (the sleeper preempts it or runs at the next boundary).
+    meaningful = [l for l in latencies[1:]]
+    assert meaningful and max(meaningful) < msecs(30)
+
+
+def test_batch_task_defers_to_interactive():
+    """SCHED_BATCH forgoes wakeup preemption: a waking batch task must not
+    preempt, while a normal waker does (same sleep pattern)."""
+
+    def wake_latency(policy):
+        kernel = one_cpu_kernel()
+        hog = spinner_forever(kernel, "hog")
+        kernel.sim.run_until(msecs(100))
+        woken = []
+        t = kernel.spawn("w", policy=policy, work=100, on_segment_end=lambda: None)
+
+        def first_done():
+            kernel.block(t)
+
+            def wake():
+                start = kernel.now
+                kernel.set_segment(
+                    t, 100, lambda: (woken.append(kernel.now - start), kernel.exit(t))
+                )
+                kernel.wake(t)
+
+            kernel.sim.after(msecs(50), wake)
+
+        t.on_segment_end = first_done
+        kernel.sim.run_until(secs(5))
+        return woken[0]
+
+    normal = wake_latency(SchedPolicy.NORMAL)
+    batch = wake_latency(SchedPolicy.BATCH)
+    assert batch >= normal  # batch waits at least as long
+
+
+def test_spinning_rank_loses_to_woken_daemon():
+    """The §III mechanism in isolation: a fair-class spinner yields its CPU
+    to a freshly woken daemon immediately."""
+    kernel = one_cpu_kernel()
+    rank = kernel.spawn("rank", work=100, on_segment_end=lambda: None)
+    rank.on_segment_end = lambda: kernel.set_spin(rank)
+    kernel.sim.run_until(msecs(1))
+    assert rank.spinning
+
+    daemon_ran = []
+    daemon = kernel.spawn("daemon", work=50, on_segment_end=lambda: None)
+    daemon.on_segment_end = lambda: (daemon_ran.append(kernel.now), kernel.exit(daemon))
+    kernel.sim.run_until(msecs(10))
+    assert daemon_ran  # got the CPU despite the runnable spinner
+    assert rank.nr_involuntary_switches >= 1

@@ -1,0 +1,145 @@
+"""Tests for the hybrid MPI+OpenMP application model."""
+
+import pytest
+
+from repro.apps.hybrid import HybridApplication
+from repro.apps.spmd import Program
+from repro.kernel.daemons import DaemonSet, cluster_node_profile, quiet_profile
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.sched_core import SchedCoreConfig
+from repro.kernel.task import SchedPolicy, TaskState
+from repro.memsim.warmth import WarmthParams
+from repro.topology.presets import generic_smp, power6_js22
+from repro.units import msecs, secs
+
+
+def clean_kernel(machine=None, variant="stock"):
+    core = SchedCoreConfig(switch_cost=0, migration_cost=0, tick_overhead=0.0)
+    warmth = WarmthParams(initial_warmth=1.0)
+    cfg = (
+        KernelConfig.hpl(core=core, warmth=warmth)
+        if variant == "hpl"
+        else KernelConfig.stock(core=core, warmth=warmth)
+    )
+    return Kernel(machine or power6_js22(), cfg, seed=0)
+
+
+def hybrid_program(n_iters=4, iter_work=msecs(8)):
+    return Program.iterative(
+        name="hyb", n_iters=n_iters, iter_work=iter_work,
+        init_ops=2, startup_work=msecs(2), finalize_ops=1,
+    )
+
+
+def run_hybrid(kernel, n_ranks=2, threads=4, omp_wait="active", program=None,
+               policy=None):
+    app = HybridApplication(
+        kernel, program or hybrid_program(), n_ranks, threads,
+        omp_wait=omp_wait, on_complete=lambda a: kernel.sim.stop(),
+    )
+    kwargs = {"policy": policy} if policy else {}
+    app.launch(**kwargs)
+    kernel.sim.run_until(secs(600))
+    return app
+
+
+def test_validation():
+    kernel = clean_kernel()
+    with pytest.raises(ValueError):
+        HybridApplication(kernel, hybrid_program(), 0, 4)
+    with pytest.raises(ValueError):
+        HybridApplication(kernel, hybrid_program(), 2, 4, omp_wait="curious")
+
+
+def test_hybrid_completes_and_times():
+    kernel = clean_kernel()
+    app = run_hybrid(kernel)
+    assert app.done
+    assert app.stats.app_time is not None and app.stats.app_time > 0
+    assert all(t.state == TaskState.EXITED for t in app.all_tasks())
+    # (startup + n_iters) regions per rank
+    assert app.stats.parallel_regions == 2 * 5
+
+
+def test_threads_share_the_work():
+    """4 threads on 4 free CPUs finish a region in ~work/4 wall time."""
+    kernel = clean_kernel(generic_smp(4))
+    program = Program.iterative(
+        name="h", n_iters=3, iter_work=msecs(8), init_ops=0,
+        startup_work=1000, finalize_ops=0,
+    )
+    app = run_hybrid(kernel, n_ranks=1, threads=4, program=program)
+    ideal = 3 * msecs(2)  # 8ms split 4 ways per iteration
+    assert app.stats.app_time == pytest.approx(ideal, rel=0.15)
+
+
+def test_single_thread_degenerates_to_mpi():
+    kernel = clean_kernel(generic_smp(2))
+    program = Program.iterative(
+        name="h", n_iters=2, iter_work=msecs(4), init_ops=0,
+        startup_work=1000, finalize_ops=0,
+    )
+    app = run_hybrid(kernel, n_ranks=2, threads=1, program=program)
+    assert app.done
+    assert app.stats.app_time == pytest.approx(2 * msecs(4), rel=0.1)
+
+
+def test_hpl_places_gang_one_task_per_cpu():
+    kernel = clean_kernel(variant="hpl")
+    app = run_hybrid(kernel, n_ranks=2, threads=4, policy=SchedPolicy.HPC)
+    assert app.done
+    cpus = sorted(t.last_cpu for t in app.all_tasks())
+    assert cpus == list(range(8))  # 2x4 gang fills the js22 one per thread
+
+
+def test_policy_inheritance_to_workers():
+    kernel = clean_kernel(variant="hpl")
+    app = run_hybrid(kernel, n_ranks=1, threads=3, policy=SchedPolicy.HPC)
+    assert all(t.policy == SchedPolicy.HPC for t in app.all_tasks())
+
+
+def test_passive_wait_sleeps_workers():
+    kernel = clean_kernel()
+    app = run_hybrid(kernel, n_ranks=1, threads=4, omp_wait="passive")
+    workers = app.ranks[0].workers
+    # Passive workers blocked at every join: voluntary switches accumulated.
+    assert all(w.nr_voluntary_switches >= 3 for w in workers)
+
+
+def test_active_wait_spins_workers():
+    kernel = clean_kernel()
+    app = run_hybrid(kernel, n_ranks=1, threads=4, omp_wait="active")
+    workers = app.ranks[0].workers
+    # Active workers never blocked voluntarily (only final exit paths).
+    assert all(w.nr_voluntary_switches == 0 for w in workers)
+
+
+def test_active_wait_starves_daemons_under_hpl():
+    """The §I thesis: with the whole gang in the HPC class and active
+    waits, daemons get nothing until the application ends."""
+    kernel = clean_kernel(variant="hpl")
+    DaemonSet(kernel, cluster_node_profile()).start()
+    app = run_hybrid(kernel, n_ranks=2, threads=4, omp_wait="active",
+                     policy=SchedPolicy.HPC)
+    assert app.done
+    assert all(t.nr_involuntary_switches == 0 for t in app.all_tasks())
+
+
+def test_hybrid_noise_sensitivity_stock_vs_hpl():
+    def run(variant):
+        kernel = Kernel(
+            power6_js22(),
+            KernelConfig.hpl() if variant == "hpl" else KernelConfig.stock(),
+            seed=5,
+        )
+        DaemonSet(kernel, cluster_node_profile()).start()
+        app = HybridApplication(
+            kernel, hybrid_program(n_iters=6), 2, 4,
+            on_complete=lambda a: kernel.sim.stop(),
+        )
+        app.launch(policy=SchedPolicy.HPC if variant == "hpl" else None)
+        kernel.sim.run_until(secs(600))
+        assert app.done
+        return app.stats.app_time
+
+    assert run("hpl") <= run("stock")

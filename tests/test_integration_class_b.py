@@ -1,0 +1,52 @@
+"""Class-B integration checks (slower benchmarks, small samples).
+
+Class B is where the paper's data-set-size arguments live: ep.B must show
+the pure-OS context-switch growth, and the big iterative benchmarks must
+keep HPL's counters at the class-A level.
+"""
+
+import pytest
+
+from repro.analysis.stats import summarize, variation_pct
+from repro.experiments.runner import run_nas, run_nas_campaign
+
+SEED = 314
+
+
+@pytest.mark.parametrize("bench", ["cg", "ep", "ft", "is", "lu", "mg"])
+def test_class_b_hpl_single_run_sane(bench):
+    result = run_nas(bench, "B", "hpl", seed=SEED)
+    from repro.apps.nas import nas_spec
+
+    target = nas_spec(bench, "B").target_time / 1e6
+    assert result.app_time_s == pytest.approx(target, rel=0.08)
+    assert result.cpu_migrations <= 25
+    assert result.context_switches <= 700
+
+
+def test_ep_b_stock_switches_are_os_noise():
+    """§V: 'the extra 681.08 context switches for the class B data set are
+    caused by the OS' — the growth must be roughly proportional to runtime."""
+    a = run_nas("ep", "A", "stock", seed=SEED)
+    b = run_nas("ep", "B", "stock", seed=SEED)
+    baseline = 340
+    rate_a = (a.context_switches - baseline) / a.app_time_s
+    rate_b = (b.context_switches - baseline) / b.app_time_s
+    assert rate_b == pytest.approx(rate_a, rel=0.5)
+
+
+def test_lu_b_hpl_variation_is_the_outlier():
+    """Paper Table II: lu.B is HPL's one >3% row (8.12%) — app-intrinsic.
+    Our sigma_run reproduces an elevated (though not necessarily as large)
+    spread relative to the other class-B rows."""
+    lu = run_nas_campaign("lu", "B", "hpl", 6, base_seed=SEED)
+    ft = run_nas_campaign("ft", "B", "hpl", 6, base_seed=SEED)
+    assert variation_pct(lu.app_times_s()) > variation_pct(ft.app_times_s())
+
+
+def test_cg_b_stock_vs_hpl_counters():
+    stock = run_nas("cg", "B", "stock", seed=SEED)
+    hpl = run_nas("cg", "B", "hpl", seed=SEED)
+    assert stock.context_switches > 3 * hpl.context_switches
+    assert stock.cpu_migrations > 2 * hpl.cpu_migrations
+    assert hpl.app_time_s <= stock.app_time_s

@@ -1,0 +1,132 @@
+"""Integration tests: the paper's headline claims, end to end.
+
+These run small campaigns (the paper uses 1000 repetitions; the benchmark
+harness uses larger samples) and assert the *shape* results of §V:
+
+* HPL collapses run-to-run variation by orders of magnitude (Table II);
+* HPL reduces CPU migrations to the structural launch minimum and context
+  switches to the application's own baseline, independent of data-set size
+  (Table Ib);
+* stock-Linux execution time correlates positively with the software events
+  (Fig. 3);
+* the RT scheduler sits between stock and HPL (Fig. 4 discussion).
+"""
+
+import pytest
+
+from repro.analysis.stats import summarize, variation_pct
+from repro.experiments.runner import run_nas, run_nas_campaign
+
+N = 15
+SEED = 2026
+
+
+@pytest.fixture(scope="module")
+def ep_stock():
+    return run_nas_campaign("ep", "A", "stock", N, base_seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def ep_hpl():
+    return run_nas_campaign("ep", "A", "hpl", N, base_seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def is_stock():
+    return run_nas_campaign("is", "A", "stock", N, base_seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def is_hpl():
+    return run_nas_campaign("is", "A", "hpl", N, base_seed=SEED)
+
+
+def test_hpl_variation_collapses(ep_stock, ep_hpl):
+    v_stock = variation_pct(ep_stock.app_times_s())
+    v_hpl = variation_pct(ep_hpl.app_times_s())
+    assert v_hpl < 1.0       # paper: 0.35% for ep.A
+    assert v_stock > 5 * v_hpl
+
+
+def test_hpl_never_slower_on_average(ep_stock, ep_hpl, is_stock, is_hpl):
+    assert summarize(ep_hpl.app_times_s()).mean <= summarize(ep_stock.app_times_s()).mean
+    assert summarize(is_hpl.app_times_s()).mean <= summarize(is_stock.app_times_s()).mean
+
+
+def test_hpl_absolute_time_matches_paper_calibration(ep_hpl):
+    s = summarize(ep_hpl.app_times_s())
+    # Paper Table II: ep.A HPL 8.54 / 8.55 / 8.57.
+    assert s.minimum == pytest.approx(8.54, abs=0.1)
+    assert s.maximum == pytest.approx(8.57, abs=0.1)
+
+
+def test_hpl_migrations_at_structural_minimum(ep_hpl, is_hpl):
+    for campaign in (ep_hpl, is_hpl):
+        s = summarize([float(v) for v in campaign.migrations()])
+        # Paper Table Ib: min 10, avg ~12, max <= 23.
+        assert 8 <= s.minimum <= 14
+        assert s.maximum <= 25
+
+
+def test_hpl_context_switches_independent_of_dataset_size():
+    a = run_nas_campaign("is", "A", "hpl", 6, base_seed=SEED)
+    b = run_nas_campaign("is", "B", "hpl", 6, base_seed=SEED)
+    mean_a = summarize([float(v) for v in a.context_switches()]).mean
+    mean_b = summarize([float(v) for v in b.context_switches()]).mean
+    # Paper Table Ib: ~347 vs ~355 (virtually identical).
+    assert mean_b == pytest.approx(mean_a, rel=0.15)
+
+
+def test_stock_context_switches_grow_with_dataset_size():
+    a = run_nas_campaign("ep", "A", "stock", 5, base_seed=SEED)
+    b = run_nas_campaign("ep", "B", "stock", 5, base_seed=SEED)
+    mean_a = summarize([float(v) for v in a.context_switches()]).mean
+    mean_b = summarize([float(v) for v in b.context_switches()]).mean
+    # ep does not communicate more in class B: "the extra context switches
+    # ... are caused by the OS" (SS V).  4x the runtime => roughly more
+    # daemon bursts.
+    assert mean_b > 1.5 * mean_a
+
+
+def test_stock_noise_dwarfs_hpl_noise(ep_stock, ep_hpl):
+    stock_cs = summarize([float(v) for v in ep_stock.context_switches()]).mean
+    hpl_cs = summarize([float(v) for v in ep_hpl.context_switches()]).mean
+    stock_mig = summarize([float(v) for v in ep_stock.migrations()]).mean
+    hpl_mig = summarize([float(v) for v in ep_hpl.migrations()]).mean
+    assert stock_cs > 1.5 * hpl_cs
+    # Paper ratio is ~4x on average (52 vs 12); our steady-state churn is
+    # milder (see EXPERIMENTS.md), but the direction must be unambiguous.
+    assert stock_mig > 1.4 * hpl_mig
+
+
+def test_time_correlates_with_events_under_stock(ep_stock):
+    from repro.analysis.correlation import spearman
+
+    times = ep_stock.app_times_s()
+    r_cs = spearman([float(v) for v in ep_stock.context_switches()], times)
+    assert r_cs > 0.2  # Fig. 3b: positive relation
+
+
+def test_rt_sits_between_stock_and_hpl():
+    rt = run_nas_campaign("ep", "A", "rt", 8, base_seed=SEED)
+    stock = run_nas_campaign("ep", "A", "stock", 8, base_seed=SEED)
+    hpl = run_nas_campaign("ep", "A", "hpl", 8, base_seed=SEED)
+    mig = lambda c: summarize([float(v) for v in c.migrations()]).mean
+    cs = lambda c: summarize([float(v) for v in c.context_switches()]).mean
+    # RT keeps daemons at bay (fewer switches than stock) but balancing
+    # still migrates aggressively (more migrations than HPL).
+    assert cs("__" != "" and rt) < cs(stock)
+    assert mig(rt) > mig(hpl)
+    v = lambda c: variation_pct(c.app_times_s())
+    assert v(rt) <= v(stock)
+
+
+def test_pinned_kills_migrations_but_not_preemption():
+    pinned = run_nas_campaign("is", "A", "pinned", 8, base_seed=SEED)
+    hpl = run_nas_campaign("is", "A", "hpl", 8, base_seed=SEED)
+    rank_migs = [r.rank_migrations for r in pinned.results]
+    assert all(m <= 8 for m in rank_migs)  # only the fork placements
+    # But daemons still preempt the ranks: involuntary switches persist.
+    invol = [r.rank_involuntary_switches for r in pinned.results]
+    invol_hpl = [r.rank_involuntary_switches for r in hpl.results]
+    assert sum(invol) > sum(invol_hpl)

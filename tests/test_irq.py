@@ -1,0 +1,117 @@
+"""Unit tests for the explicit timer-interrupt model."""
+
+import pytest
+
+from repro.kernel.irq import TimerInterruptParams, TimerInterrupts
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.sched_core import SchedCoreConfig
+from repro.memsim.warmth import WarmthParams
+from repro.topology.presets import generic_smp
+from repro.units import msecs, secs
+
+
+def quiet_kernel(machine=None, seed=0):
+    core = SchedCoreConfig(tick_overhead=0.0, switch_cost=0, migration_cost=0)
+    return Kernel(machine or generic_smp(2),
+                  KernelConfig.stock(core=core, warmth=WarmthParams(initial_warmth=1.0)),
+                  seed=seed)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        TimerInterruptParams(hz=0)
+    with pytest.raises(ValueError):
+        TimerInterruptParams(duration_us=-1)
+    with pytest.raises(ValueError):
+        TimerInterruptParams(bookkeeping_every=0)
+    with pytest.raises(ValueError):
+        TimerInterruptParams(hz=100_000, duration_us=50)  # handler > period
+
+
+def test_duty_cycle():
+    p = TimerInterruptParams(hz=1000, duration_us=5, bookkeeping_every=10,
+                             bookkeeping_us=40)
+    assert p.period_us == 1000
+    assert p.duty_cycle == pytest.approx((5 + 4) / 1000)
+
+
+def test_ticks_slow_a_busy_task():
+    params = TimerInterruptParams(hz=1000, duration_us=10,
+                                  bookkeeping_every=10**6, bookkeeping_us=0)
+
+    def run(with_ticks):
+        kernel = quiet_kernel()
+        done = []
+        t = kernel.spawn("w", work=msecs(100), on_segment_end=lambda: None)
+        t.on_segment_end = lambda: (done.append(kernel.now), kernel.exit(t))
+        if with_ticks:
+            TimerInterrupts(kernel, params).start()
+        kernel.sim.run_until(secs(5))
+        return done[0]
+
+    base = run(False)
+    ticked = run(True)
+    # Base pays only stray balancer bookkeeping (a few us).
+    assert base == pytest.approx(msecs(100), abs=100)
+    # ~1% duty cycle stolen by the ticks.
+    assert ticked - base == pytest.approx(msecs(1), rel=0.1)
+
+
+def test_idle_cpus_skip_tick_cost():
+    kernel = quiet_kernel()
+    ticks = TimerInterrupts(kernel, TimerInterruptParams(hz=100))
+    ticks.start()
+    kernel.sim.at(secs(1), lambda: kernel.sim.stop())
+    kernel.sim.run_until(secs(1))
+    # Nothing ran: every tick was skipped as quiet.
+    assert ticks.ticks_fired == 0
+    assert ticks.ticks_skipped > 150  # ~100/s x 2 cpus
+
+
+def test_nettick_skips_single_task_cpus():
+    params = TimerInterruptParams(hz=1000, nettick=True)
+
+    def run(n_tasks):
+        kernel = quiet_kernel(generic_smp(1))
+        ticks = TimerInterrupts(kernel, params)
+        ticks.start()
+        for i in range(n_tasks):
+            t = kernel.spawn(f"w{i}", work=msecs(20), on_segment_end=lambda: None)
+            t.on_segment_end = (lambda tt=t: kernel.exit(tt))
+        kernel.sim.run_until(secs(2))
+        return ticks
+
+    solo = run(1)
+    assert solo.ticks_fired == 0  # NETTICK: single task -> no ticks
+    crowded = run(2)
+    assert crowded.ticks_fired > 0  # rotation needs the tick
+
+
+def test_double_start_rejected():
+    kernel = quiet_kernel()
+    ticks = TimerInterrupts(kernel)
+    ticks.start()
+    with pytest.raises(RuntimeError):
+        ticks.start()
+
+
+def test_skewed_phases_differ():
+    params = TimerInterruptParams(hz=100, skewed=True)
+    kernel = quiet_kernel(generic_smp(4))
+    # Keep all CPUs busy so ticks fire, and observe per-cpu charge moments
+    # implicitly through determinism: just assert it runs.
+    for i in range(4):
+        t = kernel.spawn(f"w{i}", work=msecs(50), on_segment_end=lambda: None,
+                         affinity=frozenset({i}))
+        t.on_segment_end = (lambda tt=t: kernel.exit(tt))
+    ticks = TimerInterrupts(kernel, params)
+    ticks.start()
+    kernel.sim.run_until(msecs(100))
+    assert ticks.ticks_fired > 0
+
+
+def test_theoretical_slowdown():
+    p = TimerInterruptParams(hz=1000, duration_us=10, bookkeeping_every=10**6,
+                             bookkeeping_us=0)
+    ti = TimerInterrupts(quiet_kernel(), p)
+    assert ti.theoretical_slowdown == pytest.approx(1.0 / 0.99)

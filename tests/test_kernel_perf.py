@@ -1,0 +1,68 @@
+"""Tests for the perf software-event fabric."""
+
+import pytest
+
+from repro.kernel.perf import PerfEvents, PerfSession
+
+
+def test_counters_accumulate():
+    p = PerfEvents(4)
+    p.record_context_switch(0)
+    p.record_context_switch(0)
+    p.record_context_switch(3)
+    p.record_migration(10, pid=5, src_cpu=0, dst_cpu=1)
+    assert p.context_switches == 3
+    assert p.cpu_migrations == 1
+    assert p.per_cpu_context_switches == [2, 0, 0, 1]
+    assert p.per_cpu_migrations == [0, 1, 0, 0]
+
+
+def test_migration_trace_opt_in():
+    p = PerfEvents(2)
+    p.record_migration(5, 1, 0, 1)
+    assert p.migration_trace is None
+    p.enable_migration_trace()
+    p.record_migration(7, pid=2, src_cpu=1, dst_cpu=0)
+    # Records are (time, src_cpu, dst_cpu, pid).
+    assert p.migration_trace == [(7, 1, 0, 2)]
+
+
+def test_session_window_deltas():
+    p = PerfEvents(2)
+    p.record_context_switch(0)  # before the window: excluded
+    s = PerfSession(p)
+    s.open(now=100)
+    p.record_context_switch(1)
+    p.record_migration(150, 1, 0, 1)
+    reading = s.close(now=400)
+    assert reading.context_switches == 1
+    assert reading.cpu_migrations == 1
+    assert reading.wall_time == 300
+
+
+def test_session_misuse():
+    p = PerfEvents(1)
+    s = PerfSession(p)
+    with pytest.raises(RuntimeError):
+        s.close(10)
+    s.open(0)
+    with pytest.raises(RuntimeError):
+        s.open(5)
+
+
+def test_session_reusable_after_close():
+    p = PerfEvents(1)
+    s = PerfSession(p)
+    s.open(0)
+    s.close(1)
+    s.open(2)
+    p.record_context_switch(0)
+    assert s.close(3).context_switches == 1
+
+
+def test_reading_as_dict():
+    p = PerfEvents(1)
+    s = PerfSession(p)
+    s.open(0)
+    d = s.close(10).as_dict()
+    assert d == {"context-switches": 0, "cpu-migrations": 0, "wall-time-us": 10}

@@ -1,0 +1,81 @@
+"""Tests for the task model and the nice/weight table."""
+
+import pytest
+
+from repro.kernel.task import NICE_0_WEIGHT, SchedPolicy, Task, TaskState, nice_to_weight
+
+
+def test_weight_table_anchors():
+    assert nice_to_weight(0) == 1024
+    assert nice_to_weight(-20) == 88761
+    assert nice_to_weight(19) == 15
+
+
+def test_weight_table_monotone():
+    weights = [nice_to_weight(n) for n in range(-20, 20)]
+    assert weights == sorted(weights, reverse=True)
+
+
+def test_weight_10pct_rule():
+    # Each nice step is worth ~10% CPU: w(n)/w(n+1) ~ 1.25.
+    for n in range(-20, 19):
+        ratio = nice_to_weight(n) / nice_to_weight(n + 1)
+        assert 1.15 < ratio < 1.35
+
+
+def test_nice_out_of_range():
+    with pytest.raises(ValueError):
+        nice_to_weight(-21)
+    with pytest.raises(ValueError):
+        nice_to_weight(20)
+
+
+def test_task_defaults():
+    t = Task(1, "x")
+    assert t.state == TaskState.NEW
+    assert t.policy == SchedPolicy.NORMAL
+    assert t.is_fair and not t.is_rt and not t.is_hpc and not t.is_idle
+    assert t.alive
+    assert t.weight == NICE_0_WEIGHT
+    assert t.cpu is None
+
+
+def test_rt_task_needs_priority():
+    with pytest.raises(ValueError):
+        Task(1, "rt", SchedPolicy.FIFO)
+    t = Task(1, "rt", SchedPolicy.FIFO, rt_priority=50)
+    assert t.is_rt
+    assert t.weight == NICE_0_WEIGHT  # RT counts as nice-0 for load
+
+
+def test_rt_priority_range():
+    with pytest.raises(ValueError):
+        Task(1, "rt", SchedPolicy.RR, rt_priority=100)
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        Task(1, "x", "SCHED_WAT")
+
+
+def test_nice_affects_weight_only_for_fair():
+    fair = Task(1, "f", nice=5)
+    assert fair.weight == nice_to_weight(5)
+
+
+def test_affinity_check():
+    t = Task(1, "x", affinity=frozenset({1, 3}))
+    assert t.allows_cpu(1)
+    assert not t.allows_cpu(0)
+    unbound = Task(2, "y")
+    assert unbound.allows_cpu(7)
+
+
+def test_hpc_policy_flag():
+    t = Task(1, "h", SchedPolicy.HPC)
+    assert t.is_hpc
+
+
+def test_nice_validated_at_construction():
+    with pytest.raises(ValueError):
+        Task(1, "x", nice=-25)

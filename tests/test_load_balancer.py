@@ -1,0 +1,215 @@
+"""Tests for the stock load balancer and its HPL gating."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.load_balancer import LoadBalancerConfig
+from repro.kernel.sched_core import SchedCoreConfig
+from repro.kernel.task import SchedPolicy, TaskState
+from repro.memsim.warmth import WarmthParams
+from repro.topology.presets import generic_smp, power6_js22
+from repro.units import msecs, secs
+
+
+def make_kernel(machine=None, variant="stock", balancer=None):
+    core = SchedCoreConfig(switch_cost=0, migration_cost=0, tick_overhead=0.0)
+    warmth = WarmthParams(initial_warmth=1.0)
+    if variant == "hpl":
+        cfg = KernelConfig.hpl(core=core, warmth=warmth, **(
+            {"balancer": balancer} if balancer else {}
+        ))
+    else:
+        cfg = KernelConfig.stock(core=core, warmth=warmth, **(
+            {"balancer": balancer} if balancer else {}
+        ))
+    return Kernel(machine or generic_smp(4), cfg, seed=0)
+
+
+def hog(kernel, name, work=msecs(50), **kw):
+    t = kernel.spawn(name, work=work, on_segment_end=lambda: None, **kw)
+    t.on_segment_end = lambda: kernel.exit(t)
+    return t
+
+
+# --------------------------------------------------------------- placement
+
+
+def test_fork_balance_spreads_children():
+    kernel = make_kernel()
+    tasks = [hog(kernel, f"t{i}") for i in range(4)]
+    cpus = {t.cpu for t in tasks}
+    assert len(cpus) == 4  # idlest-CPU placement uses them all
+
+
+def test_fork_balance_disabled_keeps_parent_cpu():
+    cfg = LoadBalancerConfig(enabled=False)
+    kernel = make_kernel(balancer=cfg)
+    parent = hog(kernel, "p")
+    kernel.sim.run_until(10)
+    child = hog(kernel, "c")
+    assert child.cpu == parent.cpu or child.cpu == 0
+
+
+def test_wake_balance_prefers_prev_when_idle():
+    kernel = make_kernel()
+    t = kernel.spawn("w", work=100, on_segment_end=lambda: None)
+    record = {}
+
+    def sleep():
+        record["cpu"] = t.cpu
+        kernel.block(t)
+        kernel.sim.after(msecs(1), wake)
+
+    def wake():
+        kernel.set_segment(t, 100, lambda: kernel.exit(t))
+        kernel.wake(t)
+        record["woke_on"] = t.cpu
+
+    t.on_segment_end = sleep
+    kernel.sim.run_until(secs(1))
+    assert record["woke_on"] == record["cpu"]
+
+
+def test_wake_balance_moves_off_busy_prev():
+    kernel = make_kernel(generic_smp(2))
+    sleeper = kernel.spawn("s", work=100, on_segment_end=lambda: None)
+    state = {}
+
+    def sleep():
+        state["prev"] = sleeper.cpu
+        kernel.block(sleeper)
+        # Occupy the previous CPU with a long hog before the wake.
+        hog(kernel, "hog", work=msecs(30), affinity=frozenset({state["prev"]}))
+        kernel.sim.after(msecs(1), wake)
+
+    def wake():
+        kernel.set_segment(sleeper, 100, lambda: kernel.exit(sleeper))
+        kernel.wake(sleeper)
+        state["woke_on"] = sleeper.cpu
+
+    sleeper.on_segment_end = sleep
+    kernel.sim.run_until(secs(1))
+    assert state["woke_on"] != state["prev"]
+
+
+def test_exec_balance_counts_migration_when_moving():
+    kernel = make_kernel()
+    t = hog(kernel, "e", work=msecs(20))
+    before = t.nr_migrations
+    kernel.sched_exec(t)
+    # Either it stayed (already idlest) or the move was counted.
+    assert t.nr_migrations in (before, before + 1)
+
+
+# ----------------------------------------------------------------- newidle
+
+
+def test_newidle_pulls_queued_task():
+    kernel = make_kernel(generic_smp(2))
+    blocker = hog(kernel, "blocker", work=msecs(5), affinity=frozenset({1}))
+    a = hog(kernel, "a", work=msecs(30), affinity=frozenset({0}))
+    # b starts pinned to cpu0 (so it queues behind a), then its mask widens:
+    # when blocker exits, cpu1 goes new-idle and pulls b over.
+    b = hog(kernel, "b", work=msecs(30), affinity=frozenset({0}))
+    kernel.sched_setaffinity(b, frozenset({0, 1}))
+    kernel.sim.run_until(secs(1))
+    assert kernel.balancer.stats["newidle_pulls"] >= 1
+    assert b.nr_migrations >= 1
+
+
+def test_newidle_respects_affinity():
+    kernel = make_kernel(generic_smp(2))
+    blocker = hog(kernel, "blocker", work=msecs(5), affinity=frozenset({1}))
+    a = hog(kernel, "a", work=msecs(30), affinity=frozenset({0}))
+    b = hog(kernel, "b", work=msecs(30), affinity=frozenset({0}))
+    kernel.sim.run_until(secs(1))
+    # Nothing admissible could move to cpu1.
+    assert a.nr_migrations == 0 and b.nr_migrations == 0
+
+
+# ---------------------------------------------------------------- periodic
+
+
+def test_periodic_balance_fixes_imbalance():
+    kernel = make_kernel(generic_smp(2))
+    # Stack three CFS hogs on cpu0; cpu1 kept busy briefly so fork placement
+    # cannot spread them.
+    blocker = hog(kernel, "blocker", work=msecs(2), affinity=frozenset({1}))
+    hogs = [
+        hog(kernel, f"h{i}", work=msecs(60), affinity=frozenset({0, 1}))
+        for i in range(3)
+    ]
+    kernel.sim.run_until(secs(2))
+    # Someone must have been moved to cpu1 (pulled or newidle).
+    assert any(t.nr_migrations > 0 for t in hogs)
+
+
+def test_pinned_imbalance_blocks_and_retries():
+    kernel = make_kernel(generic_smp(2))
+    blocker = hog(kernel, "blocker", work=msecs(500), affinity=frozenset({1}))
+    pinned = [
+        hog(kernel, f"p{i}", work=msecs(200), affinity=frozenset({0}))
+        for i in range(3)
+    ]
+    kernel.sim.run_until(secs(2))
+    assert kernel.balancer.stats["pinned_blocked"] >= 1
+    assert all(t.nr_migrations == 0 for t in pinned)
+
+
+# ------------------------------------------------------------------ gating
+
+
+def test_hpc_gate_blocks_balancing_while_hpc_runnable():
+    kernel = make_kernel(generic_smp(2), variant="hpl")
+    # One HPC task busy on cpu0, CFS hogs stacked on cpu1 + queued.
+    hpc = hog(kernel, "hpc", work=msecs(100), policy=SchedPolicy.HPC)
+    hogs = [hog(kernel, f"h{i}", work=msecs(20)) for i in range(3)]
+    kernel.sim.run_until(msecs(50))
+    assert kernel.balancer.stats["periodic_pulls"] == 0
+    assert kernel.balancer.stats["newidle_pulls"] == 0
+
+
+def test_hpc_gate_opens_when_no_hpc_runnable():
+    kernel = make_kernel(generic_smp(2), variant="hpl")
+    hpc = hog(kernel, "hpc", work=msecs(5), policy=SchedPolicy.HPC)
+    kernel.sim.run_until(msecs(10))  # HPC task exited
+    blocker = hog(kernel, "blocker", work=msecs(2), affinity=frozenset({1}))
+    hogs = [hog(kernel, f"h{i}", work=msecs(60), affinity=frozenset({0, 1})) for i in range(3)]
+    kernel.sim.run_until(secs(2))
+    assert any(t.nr_migrations > 0 for t in hogs)
+
+
+def test_disabled_balancer_never_moves_anything():
+    cfg = LoadBalancerConfig(enabled=False)
+    kernel = make_kernel(generic_smp(2), balancer=cfg)
+    hogs = [hog(kernel, f"h{i}", work=msecs(30)) for i in range(4)]
+    kernel.sim.run_until(secs(2))
+    assert all(t.nr_migrations == 0 for t in hogs)
+    assert kernel.balancer.stats["periodic_attempts"] == 0
+
+
+# ------------------------------------------------------------------ config
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LoadBalancerConfig(balance_cost=-1)
+    with pytest.raises(ValueError):
+        LoadBalancerConfig(busy_factor=0)
+    with pytest.raises(ValueError):
+        LoadBalancerConfig(imbalance_threshold=0)
+    with pytest.raises(ValueError):
+        LoadBalancerConfig(rt_active_pull_prob=1.5)
+
+
+def test_rt_active_pull_relocates_running_rt():
+    cfg = LoadBalancerConfig(rt_active_pull_prob=1.0)
+    kernel = make_kernel(generic_smp(2), balancer=cfg)
+    rt = hog(kernel, "rt", work=msecs(50), policy=SchedPolicy.FIFO, rt_priority=50)
+    # A short CFS task on the other CPU; when it exits, newidle finds no
+    # queued candidate but actively pulls the running RT task.
+    other_cpu = 1 - rt.cpu
+    short = hog(kernel, "short", work=msecs(2), affinity=frozenset({other_cpu}))
+    kernel.sim.run_until(secs(1))
+    assert kernel.balancer.stats["rt_active_pulls"] >= 1
+    assert rt.nr_migrations >= 1

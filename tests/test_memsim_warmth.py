@@ -1,0 +1,184 @@
+"""Tests for the cache-warmth model, including closed-form consistency."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.warmth import TaskWarmth, WarmthModel, WarmthParams
+from repro.topology.presets import power6_js22, xeon_dual_socket
+
+
+@pytest.fixture
+def model():
+    return WarmthModel(power6_js22())
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        WarmthParams(rewarm_tau=0)
+    with pytest.raises(ValueError):
+        WarmthParams(cold_speed=0.0)
+    with pytest.raises(ValueError):
+        WarmthParams(cold_speed=1.5)
+    with pytest.raises(ValueError):
+        WarmthParams(initial_warmth=1.5)
+
+
+def test_new_task_starts_cold(model):
+    state = model.new_task(3)
+    assert state.warmth == 0.0
+    assert state.home_cpu == 3
+    assert model.speed_factor(state) == pytest.approx(model.params.cold_speed)
+
+
+def test_running_rewarm_monotone(model):
+    state = model.new_task(0)
+    prev = state.warmth
+    for _ in range(5):
+        model.run_for(state, 1000)
+        assert state.warmth > prev
+        prev = state.warmth
+    assert state.warmth < 1.0
+
+
+def test_long_run_saturates(model):
+    state = model.new_task(0)
+    model.run_for(state, 10_000_000)
+    assert state.warmth == pytest.approx(1.0, abs=1e-6)
+    assert model.speed_factor(state) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_cross_core_migration_flushes(model):
+    state = model.new_task(0)
+    model.run_for(state, 100_000)
+    model.migrate(state, 2)  # different core, no shared cache on js22
+    assert state.warmth == 0.0
+    assert state.home_cpu == 2
+
+
+def test_smt_sibling_migration_keeps_warmth(model):
+    state = model.new_task(0)
+    model.run_for(state, 100_000)
+    w = state.warmth
+    model.migrate(state, 1)  # SMT sibling shares L1/L2
+    assert state.warmth == pytest.approx(w)
+
+
+def test_chip_migration_partial_on_l3_machine():
+    m = xeon_dual_socket()
+    model = WarmthModel(m)
+    state = model.new_task(0)
+    model.run_for(state, 100_000)
+    w = state.warmth
+    model.migrate(state, 2)  # same chip, shared L3 retains some
+    assert 0.0 < state.warmth < w
+
+
+def test_eviction_decays(model):
+    state = model.new_task(0)
+    model.run_for(state, 100_000)
+    w = state.warmth
+    model.evict_for(state, model.params.evict_tau)
+    assert state.warmth == pytest.approx(w * math.exp(-1.0))
+
+
+def test_zero_durations_are_noops(model):
+    state = model.new_task(0)
+    model.run_for(state, 50_000)
+    w = state.warmth
+    model.run_for(state, 0)
+    model.evict_for(state, 0)
+    assert state.warmth == w
+
+
+def test_negative_durations_rejected(model):
+    state = model.new_task(0)
+    with pytest.raises(ValueError):
+        model.run_for(state, -1)
+    with pytest.raises(ValueError):
+        model.evict_for(state, -1)
+    with pytest.raises(ValueError):
+        model.mean_speed_over(state, -1)
+
+
+def test_per_task_cold_speed_override(model):
+    state = model.new_task(0)
+    state.cold_speed = 0.3
+    assert model.speed_factor(state) == pytest.approx(0.3)
+
+
+def test_rewarm_scale_slows_recovery(model):
+    fast = model.new_task(0)
+    slow = model.new_task(0)
+    slow.rewarm_scale = 4.0
+    model.run_for(fast, 5_000)
+    model.run_for(slow, 5_000)
+    assert slow.warmth < fast.warmth
+
+
+# ------------------------------------------------ closed-form consistency
+
+
+@given(
+    warmth=st.floats(0.0, 1.0),
+    delta=st.integers(1, 10_000_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_mean_speed_between_bounds(warmth, delta):
+    model = WarmthModel(power6_js22())
+    state = TaskWarmth(warmth, 0)
+    instant = model.speed_factor(state)
+    mean = model.mean_speed_over(state, delta)
+    assert instant - 1e-12 <= mean <= 1.0 + 1e-12
+
+
+@given(
+    warmth=st.floats(0.0, 1.0),
+    work=st.integers(1, 2_000_000),
+    rate=st.floats(0.3, 1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_time_for_work_inverts_work_done(warmth, work, rate):
+    """time_for_work must return the smallest Δ with work_done(Δ) >= work."""
+    model = WarmthModel(power6_js22())
+    state = TaskWarmth(warmth, 0)
+    delta = model.time_for_work(state, work, rate)
+    assert delta >= 1
+    done = model.mean_speed_over(state, delta) * delta * rate
+    assert done >= work - 1e-6
+    if delta > 1:
+        done_prev = model.mean_speed_over(state, delta - 1) * (delta - 1) * rate
+        assert done_prev < work + 1e-6
+
+
+@given(warmth=st.floats(0.0, 1.0), delta=st.integers(1, 1_000_000))
+@settings(max_examples=60, deadline=None)
+def test_mean_speed_matches_numeric_integral(warmth, delta):
+    """The closed-form integral matches step-wise simulation of the warmth
+    ODE within tolerance."""
+    model = WarmthModel(power6_js22())
+    state = TaskWarmth(warmth, 0)
+    closed = model.mean_speed_over(state, delta)
+    # Numeric: split into 64 steps, advancing warmth each step.
+    steps = 64
+    step = delta / steps
+    w = warmth
+    total = 0.0
+    tau = model.params.rewarm_tau
+    cold = model.params.cold_speed
+    for _ in range(steps):
+        mid_decay = math.exp(-step / (2 * tau))
+        w_mid = 1.0 - (1.0 - w) * mid_decay
+        total += (cold + (1.0 - cold) * w_mid) * step
+        w = 1.0 - (1.0 - w) * math.exp(-step / tau)
+    numeric = total / delta
+    assert closed == pytest.approx(numeric, rel=5e-3, abs=5e-3)
+
+
+def test_time_for_work_zero_and_errors(model):
+    state = model.new_task(0)
+    assert model.time_for_work(state, 0, 1.0) == 0
+    with pytest.raises(ValueError):
+        model.time_for_work(state, 100, 0.0)

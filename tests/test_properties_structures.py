@@ -1,0 +1,171 @@
+"""Property-based tests for the core data structures (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hpl_class import HplClass
+from repro.kernel.cfs import CfsClass
+from repro.kernel.task import SchedPolicy, Task
+from repro.sim.events import EventQueue
+from repro.topology.cache import SharingScope
+from repro.topology.machine import Machine
+from repro.topology.cache import CacheHierarchy, CacheLevel
+from repro.core.hpl_balancer import HplForkPlacer
+
+
+# ------------------------------------------------------------- event queue
+
+
+@given(
+    entries=st.lists(
+        st.tuples(st.integers(0, 10_000), st.integers(0, 5)),
+        min_size=1, max_size=200,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_event_queue_total_order(entries):
+    """Pops come out sorted by (time, priority, insertion order)."""
+    q = EventQueue()
+    for i, (time, prio) in enumerate(entries):
+        q.schedule(time, lambda: None, priority=prio, label=str(i))
+    popped = []
+    while True:
+        e = q.pop()
+        if e is None:
+            break
+        popped.append((e.time, e.priority, e.seq))
+    assert popped == sorted(popped)
+    assert len(popped) == len(entries)
+
+
+@given(
+    entries=st.lists(st.integers(0, 1000), min_size=1, max_size=100),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_event_queue_cancellation_exactness(entries, cancel_mask):
+    q = EventQueue()
+    events = [q.schedule(t, lambda: None) for t in entries]
+    cancelled = 0
+    for e, kill in zip(events, cancel_mask):
+        if kill:
+            e.cancel()
+            cancelled += 1
+    survivors = 0
+    while q.pop() is not None:
+        survivors += 1
+    assert survivors == len(entries) - cancelled
+
+
+# -------------------------------------------------------------- CFS queue
+
+
+@given(vruntimes=st.lists(st.integers(0, 10**9), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_cfs_picks_in_vruntime_order(vruntimes):
+    cls = CfsClass()
+    q = cls.new_queue(0)
+    for i, v in enumerate(vruntimes):
+        t = Task(i + 1, f"t{i}")
+        t.vruntime = v
+        q.insert(t)  # raw insert: no requeue clamping
+    picked = []
+    while True:
+        t = cls.pick_next(q)
+        if t is None:
+            break
+        picked.append(t.vruntime)
+    assert picked == sorted(picked)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["enqueue", "pick", "charge"]),
+                  st.integers(0, 10**6)),
+        min_size=1, max_size=80,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_cfs_min_vruntime_monotone(ops):
+    """The queue's floor vruntime never decreases (kernel invariant)."""
+    cls = CfsClass()
+    q = cls.new_queue(0)
+    pid = 0
+    curr = None
+    floors = [q.min_vruntime]
+    for op, value in ops:
+        if op == "enqueue":
+            pid += 1
+            t = Task(pid, f"t{pid}")
+            t.vruntime = value
+            cls.enqueue(q, t, wakeup=bool(value % 2))
+        elif op == "pick":
+            got = cls.pick_next(q)
+            if got is not None:
+                if curr is not None:
+                    cls.put_prev(q, curr)
+                curr = got
+        elif op == "charge" and curr is not None:
+            cls.charge(q, curr, value % 10_000 + 1)
+        floors.append(q.min_vruntime)
+    assert floors == sorted(floors)
+
+
+# -------------------------------------------------------------- HPL queue
+
+
+@given(order=st.permutations(list(range(8))))
+@settings(max_examples=50, deadline=None)
+def test_hpl_queue_is_fifo(order):
+    cls = HplClass()
+    q = cls.new_queue(0)
+    for i in order:
+        cls.enqueue(q, Task(i + 1, f"t{i}"), wakeup=True)
+    picked = [cls.pick_next(q).pid - 1 for _ in order]
+    assert picked == list(order)
+
+
+# -------------------------------------------------------------- placement
+
+
+def make_machine(chips, cores, threads):
+    cache = CacheHierarchy(
+        levels=(CacheLevel("L1", 64, SharingScope.CORE),)
+    )
+    smt = tuple(1.0 - 0.1 * i for i in range(threads))
+    return Machine(chips, cores, threads, cache, smt_throughput=smt)
+
+
+@given(
+    chips=st.integers(1, 3),
+    cores=st.integers(1, 3),
+    threads=st.integers(1, 2),
+    n_tasks=st.integers(1, 18),
+)
+@settings(max_examples=80, deadline=None)
+def test_placer_balance_invariants(chips, cores, threads, n_tasks):
+    """The plan never loads any chip/core/thread more than one task above
+    the least-loaded one (perfect level-by-level balance)."""
+    machine = make_machine(chips, cores, threads)
+    placer = HplForkPlacer(machine, lambda cpu: 0)
+    plan = placer.plan(n_tasks)
+    assert len(plan) == n_tasks
+
+    per_cpu = {c.cpu_id: 0 for c in machine.cpus}
+    for cpu in plan:
+        per_cpu[cpu] += 1
+    per_core = {}
+    per_chip = {}
+    for cpu in machine.cpus:
+        per_core.setdefault(cpu.core.core_id, 0)
+        per_chip.setdefault(cpu.chip.chip_id, 0)
+        per_core[cpu.core.core_id] += per_cpu[cpu.cpu_id]
+        per_chip[cpu.chip.chip_id] += per_cpu[cpu.cpu_id]
+
+    for counts in (per_cpu, per_core, per_chip):
+        values = list(counts.values())
+        assert max(values) - min(values) <= 1
+
+    # One-task-per-core-first: no SMT doubling while a core sits empty.
+    if n_tasks <= machine.n_cores:
+        assert max(per_core.values()) <= 1

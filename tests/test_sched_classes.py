@@ -1,0 +1,256 @@
+"""Unit tests for the scheduling classes (CFS, RT, idle, HPL) in isolation."""
+
+import pytest
+
+from repro.core.hpl_class import HplClass, HplParams
+from repro.kernel.cfs import CfsClass, CfsParams
+from repro.kernel.idle import IdleClass
+from repro.kernel.rt import RtClass, RtParams
+from repro.kernel.task import SchedPolicy, Task
+
+
+def make_task(pid, policy=SchedPolicy.NORMAL, **kw):
+    return Task(pid, f"t{pid}", policy, **kw)
+
+
+# ---------------------------------------------------------------------- CFS
+
+
+class TestCfs:
+    def setup_method(self):
+        self.cls = CfsClass()
+        self.q = self.cls.new_queue(0)
+
+    def test_pick_lowest_vruntime(self):
+        a, b = make_task(1), make_task(2)
+        a.vruntime, b.vruntime = 500_000, 100_000
+        self.cls.enqueue(self.q, a, wakeup=False)
+        self.cls.enqueue(self.q, b, wakeup=False)
+        assert self.cls.pick_next(self.q) is b
+
+    def test_charge_scales_with_weight(self):
+        heavy = make_task(1, nice=-5)
+        light = make_task(2, nice=5)
+        self.cls.enqueue(self.q, heavy, wakeup=False)
+        self.cls.enqueue(self.q, light, wakeup=False)
+        self.cls.charge(self.q, heavy, 1000)
+        self.cls.charge(self.q, light, 1000)
+        assert heavy.vruntime < light.vruntime
+
+    def test_sleeper_credit_bounded(self):
+        # Advance the queue clock.
+        runner = make_task(1)
+        self.cls.enqueue(self.q, runner, wakeup=False)
+        runner2 = self.cls.pick_next(self.q)
+        runner2.vruntime = 100_000_000
+        self.cls.charge(self.q, runner2, 1)
+        sleeper = make_task(2)
+        sleeper.vruntime = 0  # slept for ages
+        self.cls.enqueue(self.q, sleeper, wakeup=True)
+        credit = self.cls.params.gentle_sleeper_credit
+        assert sleeper.vruntime == self.q.min_vruntime - credit
+
+    def test_wakeup_preemption_granularity(self):
+        curr = make_task(1)
+        curr.vruntime = 10_000_000
+        woken = make_task(2)
+        woken.vruntime = curr.vruntime - self.cls.params.wakeup_granularity - 1
+        assert self.cls.check_preempt(self.q, curr, woken)
+        woken.vruntime = curr.vruntime - self.cls.params.wakeup_granularity + 1
+        assert not self.cls.check_preempt(self.q, curr, woken)
+
+    def test_batch_never_preempts(self):
+        curr = make_task(1)
+        curr.vruntime = 10_000_000
+        woken = make_task(2, SchedPolicy.BATCH)
+        woken.vruntime = 0
+        assert not self.cls.check_preempt(self.q, curr, woken)
+
+    def test_slice_shrinks_with_load(self):
+        t = make_task(1)
+        assert self.cls.task_slice(self.q, t) is None  # alone: unlimited
+        self.cls.enqueue(self.q, make_task(2), wakeup=False)
+        s2 = self.cls.task_slice(self.q, t)
+        self.cls.enqueue(self.q, make_task(3), wakeup=False)
+        s3 = self.cls.task_slice(self.q, t)
+        assert s2 is not None and s3 is not None and s3 <= s2
+        assert s3 >= self.cls.params.min_granularity
+
+    def test_min_vruntime_monotone(self):
+        a = make_task(1)
+        self.cls.enqueue(self.q, a, wakeup=False)
+        picked = self.cls.pick_next(self.q)
+        picked.vruntime = 50_000
+        self.cls.charge(self.q, picked, 10)
+        v1 = self.q.min_vruntime
+        self.cls.put_prev(self.q, picked)
+        self.cls.dequeue(self.q, picked)
+        assert self.q.min_vruntime >= v1
+
+    def test_yield_moves_rightmost(self):
+        a, b = make_task(1), make_task(2)
+        a.vruntime, b.vruntime = 10, 1_000_000
+        self.cls.enqueue(self.q, b, wakeup=False)
+        self.cls.yield_task(self.q, a)
+        assert a.vruntime >= b.vruntime
+
+    def test_dequeue_unknown_raises(self):
+        with pytest.raises(ValueError):
+            self.cls.dequeue(self.q, make_task(9))
+
+    def test_load_weight_tracked(self):
+        a = make_task(1, nice=0)
+        self.cls.enqueue(self.q, a, wakeup=False)
+        assert self.q.load_weight == a.weight
+        self.cls.dequeue(self.q, a)
+        assert self.q.load_weight == 0
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            CfsParams(sched_latency=0)
+        with pytest.raises(ValueError):
+            CfsParams(gentle_sleeper_credit=-1)
+
+
+# ----------------------------------------------------------------------- RT
+
+
+class TestRt:
+    def setup_method(self):
+        self.cls = RtClass()
+        self.q = self.cls.new_queue(0)
+
+    def test_highest_priority_first(self):
+        lo = make_task(1, SchedPolicy.FIFO, rt_priority=10)
+        hi = make_task(2, SchedPolicy.FIFO, rt_priority=90)
+        self.cls.enqueue(self.q, lo, wakeup=True)
+        self.cls.enqueue(self.q, hi, wakeup=True)
+        assert self.cls.pick_next(self.q) is hi
+        assert self.cls.pick_next(self.q) is lo
+
+    def test_fifo_within_priority(self):
+        a = make_task(1, SchedPolicy.FIFO, rt_priority=50)
+        b = make_task(2, SchedPolicy.FIFO, rt_priority=50)
+        self.cls.enqueue(self.q, a, wakeup=True)
+        self.cls.enqueue(self.q, b, wakeup=True)
+        assert self.cls.pick_next(self.q) is a
+
+    def test_fifo_has_no_slice(self):
+        t = make_task(1, SchedPolicy.FIFO, rt_priority=50)
+        self.cls.enqueue(self.q, make_task(2, SchedPolicy.FIFO, rt_priority=50), wakeup=True)
+        assert self.cls.task_slice(self.q, t) is None
+
+    def test_rr_slice_only_with_equal_peers(self):
+        t = make_task(1, SchedPolicy.RR, rt_priority=50)
+        assert self.cls.task_slice(self.q, t) is None  # alone
+        self.cls.enqueue(self.q, make_task(2, SchedPolicy.RR, rt_priority=50), wakeup=True)
+        assert self.cls.task_slice(self.q, t) == self.cls.params.rr_timeslice
+        # A peer at a *different* priority does not rotate with it.
+        q2 = self.cls.new_queue(1)
+        self.cls.enqueue(q2, make_task(3, SchedPolicy.RR, rt_priority=40), wakeup=True)
+        assert self.cls.task_slice(q2, t) is None
+
+    def test_preempt_only_strictly_higher(self):
+        curr = make_task(1, SchedPolicy.FIFO, rt_priority=50)
+        equal = make_task(2, SchedPolicy.FIFO, rt_priority=50)
+        higher = make_task(3, SchedPolicy.FIFO, rt_priority=51)
+        assert not self.cls.check_preempt(self.q, curr, equal)
+        assert self.cls.check_preempt(self.q, curr, higher)
+
+    def test_put_prev_head_when_preempted(self):
+        a = make_task(1, SchedPolicy.FIFO, rt_priority=50)
+        b = make_task(2, SchedPolicy.FIFO, rt_priority=50)
+        self.cls.enqueue(self.q, b, wakeup=True)
+        a.slice_used = 0
+        self.cls.put_prev(self.q, a)  # preempted, not expired -> head
+        assert self.cls.pick_next(self.q) is a
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(ValueError):
+            self.q.remove(make_task(9, SchedPolicy.FIFO, rt_priority=10))
+
+
+# --------------------------------------------------------------------- idle
+
+
+class TestIdle:
+    def setup_method(self):
+        self.cls = IdleClass()
+        self.q = self.cls.new_queue(0)
+        self.idle = make_task(1, SchedPolicy.IDLE)
+        self.q.set_idle_task(self.idle)
+
+    def test_pick_returns_idle_task(self):
+        assert self.cls.pick_next(self.q) is self.idle
+        assert self.cls.pick_next(self.q) is None  # now "running"
+        self.cls.put_prev(self.q, self.idle)
+        assert self.cls.pick_next(self.q) is self.idle
+
+    def test_only_own_idle_task(self):
+        with pytest.raises(ValueError):
+            self.cls.enqueue(self.q, make_task(2, SchedPolicy.IDLE), wakeup=False)
+
+    def test_never_preempts(self):
+        assert not self.cls.check_preempt(self.q, make_task(2), self.idle)
+
+    def test_not_stealable(self):
+        assert self.cls.steal_candidates(self.q) == []
+
+    def test_double_install_rejected(self):
+        with pytest.raises(RuntimeError):
+            self.q.set_idle_task(make_task(3, SchedPolicy.IDLE))
+
+
+# ---------------------------------------------------------------------- HPL
+
+
+class TestHpl:
+    def setup_method(self):
+        self.cls = HplClass()
+        self.q = self.cls.new_queue(0)
+
+    def test_round_robin_fifo_order(self):
+        a = make_task(1, SchedPolicy.HPC)
+        b = make_task(2, SchedPolicy.HPC)
+        self.cls.enqueue(self.q, a, wakeup=True)
+        self.cls.enqueue(self.q, b, wakeup=True)
+        assert self.cls.pick_next(self.q) is a
+        assert self.cls.pick_next(self.q) is b
+
+    def test_no_same_class_wakeup_preemption(self):
+        curr = make_task(1, SchedPolicy.HPC)
+        woken = make_task(2, SchedPolicy.HPC)
+        assert not self.cls.check_preempt(self.q, curr, woken)
+
+    def test_slice_only_when_sharing(self):
+        t = make_task(1, SchedPolicy.HPC)
+        assert self.cls.task_slice(self.q, t) is None  # the common case
+        self.cls.enqueue(self.q, make_task(2, SchedPolicy.HPC), wakeup=True)
+        assert self.cls.task_slice(self.q, t) == self.cls.params.rr_timeslice
+
+    def test_expired_goes_to_tail(self):
+        a = make_task(1, SchedPolicy.HPC)
+        b = make_task(2, SchedPolicy.HPC)
+        self.cls.enqueue(self.q, b, wakeup=True)
+        a.slice_used = self.cls.params.rr_timeslice + 1
+        self.cls.put_prev(self.q, a)  # expired -> tail
+        assert self.cls.pick_next(self.q) is b
+
+    def test_preempted_goes_to_head(self):
+        a = make_task(1, SchedPolicy.HPC)
+        b = make_task(2, SchedPolicy.HPC)
+        self.cls.enqueue(self.q, b, wakeup=True)
+        a.slice_used = 0
+        self.cls.put_prev(self.q, a)  # displaced by RT -> head
+        assert self.cls.pick_next(self.q) is a
+
+    def test_not_balanced(self):
+        assert HplClass.balanced is False
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            HplParams(rr_timeslice=0)
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(ValueError):
+            self.q.remove(make_task(9, SchedPolicy.HPC))

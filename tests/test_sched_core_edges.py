@@ -1,0 +1,190 @@
+"""Edge-case scheduler tests: rotation, yielding, active migration, HPC
+multi-task behaviour, tick overhead, and warmth interplay."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.rt import RtParams
+from repro.core.hpl_class import HplParams
+from repro.kernel.sched_core import SchedCoreConfig
+from repro.kernel.task import SchedPolicy, TaskState
+from repro.memsim.warmth import WarmthParams
+from repro.topology.presets import generic_smp, power6_js22
+from repro.units import msecs, secs
+
+
+def mk(machine=None, variant="stock", rr_slice=msecs(5), **cfg_kw):
+    core = SchedCoreConfig(switch_cost=0, migration_cost=0, tick_overhead=0.0)
+    warmth = WarmthParams(initial_warmth=1.0)
+    common = dict(
+        core=core, warmth=warmth,
+        rt=RtParams(rr_timeslice=rr_slice),
+        hpl_params=HplParams(rr_timeslice=rr_slice),
+        **cfg_kw,
+    )
+    cfg = KernelConfig.hpl(**common) if variant == "hpl" else KernelConfig.stock(**common)
+    return Kernel(machine or generic_smp(1), cfg, seed=0)
+
+
+def worker(kernel, name, work, **kw):
+    done = []
+    t = kernel.spawn(name, work=work, on_segment_end=lambda: None, **kw)
+    t.on_segment_end = lambda: (done.append(kernel.now), kernel.exit(t))
+    return t, done
+
+
+def test_rr_tasks_rotate_on_slice():
+    kernel = mk(rr_slice=msecs(2))
+    a, da = worker(kernel, "a", msecs(10), policy=SchedPolicy.RR, rt_priority=50)
+    b, db = worker(kernel, "b", msecs(10), policy=SchedPolicy.RR, rt_priority=50)
+    kernel.sim.run_until(secs(5))
+    assert da and db
+    # Rotation means neither ran to completion uninterrupted: the first
+    # completion lands well past its own 10ms of work.
+    assert min(da[0], db[0]) > msecs(15)
+    assert a.nr_involuntary_switches >= 2
+    assert b.nr_involuntary_switches >= 2
+
+
+def test_fifo_runs_to_completion_despite_equal_peer():
+    kernel = mk()
+    a, da = worker(kernel, "a", msecs(10), policy=SchedPolicy.FIFO, rt_priority=50)
+    b, db = worker(kernel, "b", msecs(10), policy=SchedPolicy.FIFO, rt_priority=50)
+    kernel.sim.run_until(secs(5))
+    # Strict serialization: first finisher at ~10ms; the second pays its
+    # 10ms plus the cache warmth it lost while parked behind the first.
+    assert min(da[0], db[0]) == pytest.approx(msecs(10), rel=0.02)
+    assert msecs(20) <= max(da[0], db[0]) <= msecs(23)
+    assert a.nr_involuntary_switches == 0
+
+
+def test_two_hpc_tasks_share_one_cpu_round_robin():
+    kernel = mk(variant="hpl", rr_slice=msecs(2))
+    a, da = worker(kernel, "a", msecs(8), policy=SchedPolicy.HPC)
+    b, db = worker(kernel, "b", msecs(8), policy=SchedPolicy.HPC)
+    kernel.sim.run_until(secs(5))
+    assert da and db
+    assert min(da[0], db[0]) > msecs(10)  # interleaved, not serialized
+
+
+def test_yield_rotates_same_class():
+    kernel = mk()
+    order = []
+    a = kernel.spawn("a", work=msecs(4), on_segment_end=lambda: None)
+    b = kernel.spawn("b", work=msecs(4), on_segment_end=lambda: None)
+
+    def finish(t, name):
+        order.append((name, kernel.now))
+        kernel.exit(t)
+
+    a.on_segment_end = lambda: finish(a, "a")
+    b.on_segment_end = lambda: finish(b, "b")
+    # Force a yield from whichever is running shortly after start.
+    def force_yield():
+        rq = kernel.core.rqs[0]
+        if rq.curr is not None and not rq.curr.is_idle:
+            kernel.sched_yield(rq.curr)
+
+    kernel.sim.at(500, force_yield)
+    kernel.sim.run_until(secs(2))
+    assert len(order) == 2
+
+
+def test_yield_alone_is_noop():
+    kernel = mk()
+    t, done = worker(kernel, "solo", msecs(3))
+    kernel.sim.at(500, lambda: kernel.sched_yield(t))
+    kernel.sim.run_until(secs(1))
+    assert done[0] == msecs(3)  # no cost beyond the call itself
+
+
+def test_active_migration_costs_victim_a_switch():
+    kernel = mk(generic_smp(2))
+    t, done = worker(kernel, "rt", msecs(20), policy=SchedPolicy.FIFO, rt_priority=50)
+    kernel.sim.run_until(msecs(1))
+    src = t.cpu
+    moved = kernel.core.active_migrate_running(src, 1 - src)
+    assert moved is t
+    assert t.nr_migrations == 1
+    assert t.nr_involuntary_switches == 1
+    assert t.state in (TaskState.RUNNING, TaskState.RUNNABLE)
+    kernel.sim.run_until(secs(1))
+    assert done
+
+
+def test_active_migration_of_idle_cpu_returns_none():
+    kernel = mk(generic_smp(2))
+    assert kernel.core.active_migrate_running(0, 1) is None
+
+
+def test_tick_overhead_slows_execution():
+    def run_one(overhead):
+        core = SchedCoreConfig(switch_cost=0, migration_cost=0,
+                               tick_overhead=overhead)
+        cfg = KernelConfig.stock(core=core, warmth=WarmthParams(initial_warmth=1.0))
+        kernel = Kernel(generic_smp(1), cfg, seed=0)
+        t, done = worker(kernel, "w", msecs(100))
+        kernel.sim.run_until(secs(2))
+        return done[0]
+
+    assert run_one(0.01) > run_one(0.0) * 1.009
+
+
+def test_cold_start_ramp_visible():
+    """A task born cold takes measurably longer than a warm-born one."""
+    def run_one(initial):
+        core = SchedCoreConfig(switch_cost=0, migration_cost=0, tick_overhead=0.0)
+        cfg = KernelConfig.stock(core=core,
+                                 warmth=WarmthParams(initial_warmth=initial))
+        kernel = Kernel(generic_smp(1), cfg, seed=0)
+        t, done = worker(kernel, "w", msecs(20))
+        kernel.sim.run_until(secs(2))
+        return done[0]
+
+    cold = run_one(0.0)
+    warm = run_one(1.0)
+    assert warm == msecs(20)
+    assert cold > warm
+
+
+def test_migration_cold_cache_penalty_end_to_end():
+    """Moving a task across cores on the js22 (no shared cache) visibly
+    slows it; moving to the SMT sibling does not."""
+    def run_one(dst):
+        core = SchedCoreConfig(switch_cost=0, migration_cost=0, tick_overhead=0.0)
+        cfg = KernelConfig.stock(core=core, warmth=WarmthParams(initial_warmth=1.0),
+                                 balancer=__import__("repro.kernel.load_balancer",
+                                                     fromlist=["LoadBalancerConfig"]).LoadBalancerConfig(enabled=False))
+        kernel = Kernel(power6_js22(), cfg, seed=0)
+        t, done = worker(kernel, "w", msecs(30), affinity=frozenset({0}))
+        kernel.sim.run_until(msecs(5))
+        kernel.sched_setaffinity(t, frozenset({dst}))
+        kernel.sim.run_until(secs(2))
+        return done[0]
+
+    same_core = run_one(1)   # SMT sibling: caches shared, no penalty
+    cross_core = run_one(2)  # different core: fully cold
+    assert cross_core > same_core
+
+
+def test_switch_cost_accumulates():
+    def run_pair(cost):
+        core = SchedCoreConfig(switch_cost=cost, migration_cost=0, tick_overhead=0.0)
+        cfg = KernelConfig.stock(core=core, warmth=WarmthParams(initial_warmth=1.0))
+        kernel = Kernel(generic_smp(1), cfg, seed=0)
+        a, da = worker(kernel, "a", msecs(20))
+        b, db = worker(kernel, "b", msecs(20))
+        kernel.sim.run_until(secs(5))
+        return max(da[0], db[0])
+
+    assert run_pair(100) > run_pair(0)
+
+
+def test_exit_clears_cpu_and_counts():
+    kernel = mk()
+    t, done = worker(kernel, "w", 1000)
+    kernel.sim.run_until(secs(1))
+    assert t.state == TaskState.EXITED
+    assert t.exited_at == done[0]
+    rq = kernel.core.rqs[t.last_cpu]
+    assert rq.curr is not t

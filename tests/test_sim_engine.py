@@ -1,0 +1,96 @@
+"""Tests for the simulator loop."""
+
+import pytest
+
+from repro.sim.engine import SimulationLimitError, Simulator
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.at(100, lambda: seen.append(sim.now))
+    sim.at(250, lambda: seen.append(sim.now))
+    sim.run_until()
+    assert seen == [100, 250]
+    assert sim.now == 250
+
+
+def test_after_is_relative():
+    sim = Simulator()
+    seen = []
+    sim.at(50, lambda: sim.after(25, lambda: seen.append(sim.now)))
+    sim.run_until()
+    assert seen == [75]
+
+
+def test_horizon_is_inclusive():
+    sim = Simulator()
+    seen = []
+    sim.at(10, lambda: seen.append("a"))
+    sim.at(11, lambda: seen.append("b"))
+    sim.run_until(horizon=10)
+    assert seen == ["a"]
+    assert sim.now == 10
+
+
+def test_stop_halts_processing():
+    sim = Simulator()
+    seen = []
+    sim.at(1, lambda: (seen.append("x"), sim.stop()))
+    sim.at(2, lambda: seen.append("y"))
+    sim.run_until()
+    assert seen == ["x", ()] or seen[0] == "x"
+    assert "y" not in seen
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    sim.run_until()
+    with pytest.raises(ValueError):
+        sim.at(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.after(-1, lambda: None)
+
+
+def test_event_budget_guards_runaway():
+    sim = Simulator(max_events=100)
+
+    def loop():
+        sim.after(1, loop)
+
+    sim.at(0, loop)
+    with pytest.raises(SimulationLimitError):
+        sim.run_until()
+
+
+def test_trace_hooks_observe_events():
+    sim = Simulator()
+    trace = []
+    sim.add_trace_hook(lambda t, label: trace.append((t, label)))
+    sim.at(5, lambda: None, label="hello")
+    sim.run_until()
+    assert trace == [(5, "hello")]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for t in (1, 2, 3):
+        sim.at(t, lambda: None)
+    sim.run_until()
+    assert sim.events_processed == 3
+
+
+def test_run_until_resumes_after_horizon():
+    sim = Simulator()
+    seen = []
+    sim.at(10, lambda: seen.append(10))
+    sim.at(20, lambda: seen.append(20))
+    sim.run_until(horizon=15)
+    assert seen == [10]
+    sim.run_until(horizon=25)
+    assert seen == [10, 20]

@@ -1,0 +1,85 @@
+"""Tests for the event queue: ordering, ties, cancellation."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.schedule(30, lambda: fired.append("c"))
+    q.schedule(10, lambda: fired.append("a"))
+    q.schedule(20, lambda: fired.append("b"))
+    while True:
+        e = q.pop()
+        if e is None:
+            break
+        e.callback()
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_time_breaks_by_priority_then_fifo():
+    q = EventQueue()
+    q.schedule(5, lambda: None, priority=2, label="low")
+    q.schedule(5, lambda: None, priority=0, label="hi")
+    q.schedule(5, lambda: None, priority=0, label="hi2")
+    assert q.pop().label == "hi"
+    assert q.pop().label == "hi2"
+    assert q.pop().label == "low"
+
+
+def test_cancelled_events_skipped():
+    q = EventQueue()
+    e1 = q.schedule(1, lambda: None, label="first")
+    q.schedule(2, lambda: None, label="second")
+    e1.cancel()
+    assert q.pop().label == "second"
+    assert q.pop() is None
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    e = q.schedule(1, lambda: None)
+    e.cancel()
+    e.cancel()
+    assert q.pop() is None
+
+
+def test_len_tracks_live_events():
+    q = EventQueue()
+    e1 = q.schedule(1, lambda: None)
+    q.schedule(2, lambda: None)
+    assert len(q) == 2
+    e1.cancel()
+    # Lazy cancellation: length corrects on next access.
+    q.peek_time()
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    e = q.schedule(1, lambda: None)
+    q.schedule(9, lambda: None)
+    e.cancel()
+    assert q.peek_time() == 9
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.schedule(-1, lambda: None)
+
+
+def test_clear_empties_queue():
+    q = EventQueue()
+    q.schedule(1, lambda: None)
+    q.schedule(2, lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.pop() is None
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+    assert EventQueue().peek_time() is None

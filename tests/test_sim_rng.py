@@ -1,0 +1,68 @@
+"""Tests for named RNG streams: determinism and independence."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(42).stream("x")
+    b = RngStreams(42).stream("x")
+    assert a.random(5).tolist() == b.random(5).tolist()
+
+
+def test_different_names_differ():
+    r = RngStreams(42)
+    assert r.stream("x").random(5).tolist() != r.stream("y").random(5).tolist()
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x")
+    b = RngStreams(2).stream("x")
+    assert a.random(5).tolist() != b.random(5).tolist()
+
+
+def test_streams_independent_of_creation_order():
+    r1 = RngStreams(7)
+    r1.stream("a")  # created first
+    x1 = r1.stream("b").random(3).tolist()
+    r2 = RngStreams(7)
+    x2 = r2.stream("b").random(3).tolist()  # "a" never touched
+    assert x1 == x2
+
+
+def test_stream_is_cached():
+    r = RngStreams(0)
+    assert r.stream("n") is r.stream("n")
+
+
+def test_fork_is_independent():
+    base = RngStreams(9)
+    f1 = base.fork(1)
+    f2 = base.fork(2)
+    assert f1.stream("x").random(4).tolist() != f2.stream("x").random(4).tolist()
+    # and deterministic
+    assert RngStreams(9).fork(1).stream("x").random(4).tolist() == RngStreams(9).fork(
+        1
+    ).stream("x").random(4).tolist()
+
+
+def test_helper_draws():
+    r = RngStreams(3)
+    assert r.exponential("e", 100.0) > 0
+    assert 0.0 <= r.random("u") < 1.0
+    assert 1.0 <= r.uniform("v", 1.0, 2.0) <= 2.0
+    assert r.lognormal("l", 0.0, 0.5) > 0
+    assert 0 <= r.integers("i", 0, 10) < 10
+
+
+def test_exponential_mean_roughly_right():
+    r = RngStreams(12)
+    draws = [r.exponential("m", 50.0) for _ in range(4000)]
+    assert 45.0 < np.mean(draws) < 55.0
+
+
+def test_non_int_seed_rejected():
+    with pytest.raises(TypeError):
+        RngStreams("abc")  # type: ignore[arg-type]

@@ -1,0 +1,154 @@
+"""Tests for the topology spec language, the noise decomposition, and the
+parameter sweeps."""
+
+import pytest
+
+from repro.analysis.decomposition import decompose_nas_noise, decompose_noise
+from repro.apps.spmd import Program
+from repro.experiments.sweeps import (
+    noise_intensity_sweep,
+    scale_noise_profile,
+    smt_factor_sweep,
+    spin_threshold_sweep,
+)
+from repro.kernel.daemons import cluster_node_profile, quiet_profile
+from repro.topology.presets import power6_js22
+from repro.topology.spec import machine_spec, parse_machine
+from repro.units import msecs
+
+
+# ------------------------------------------------------------ topology spec
+
+
+def test_parse_js22_equivalent():
+    m = parse_machine("2x2x2 smt=1.0,0.62 L1:128K@core L2:4M@core name=js22")
+    ref = power6_js22()
+    assert m.n_cpus == ref.n_cpus
+    assert m.smt_throughput == ref.smt_throughput
+    assert m.cache.total_kib == ref.cache.total_kib
+    assert m.name == "js22"
+
+
+def test_parse_size_suffixes():
+    m = parse_machine("1x1x1 L1:64K@core L2:2M@core L3:1G@chip")
+    sizes = [l.size_kib for l in m.cache.levels]
+    assert sizes == [64, 2048, 1024 * 1024]
+
+
+def test_parse_defaults():
+    m = parse_machine("1x2x1 L1:64K@core")
+    assert m.smt_throughput == (1.0,)
+    assert m.name.startswith("spec-")
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError):
+        parse_machine("")
+    with pytest.raises(ValueError):
+        parse_machine("banana L1:64K@core")
+    with pytest.raises(ValueError):
+        parse_machine("2x2x2 L1:64K@pocket")
+    with pytest.raises(ValueError):
+        parse_machine("2x2x2")  # no caches
+    with pytest.raises(ValueError):
+        parse_machine("2x2x2 smt=1.0 L1:64K@core")  # too few smt factors
+    with pytest.raises(ValueError):
+        parse_machine("2x2x2 smt=x L1:64K@core")
+
+
+def test_spec_round_trip():
+    original = power6_js22()
+    spec = machine_spec(original)
+    rebuilt = parse_machine(spec)
+    assert rebuilt.n_chips == original.n_chips
+    assert rebuilt.cores_per_chip == original.cores_per_chip
+    assert rebuilt.threads_per_core == original.threads_per_core
+    assert rebuilt.smt_throughput == original.smt_throughput
+    assert rebuilt.cache.total_kib == original.cache.total_kib
+    assert machine_spec(rebuilt) == spec
+
+
+def test_parsed_machine_is_runnable():
+    from repro.experiments.runner import run_program
+
+    m = parse_machine("1x4x1 L1:64K@core L2:1M@core name=tiny")
+    program = Program.iterative(name="t", n_iters=2, iter_work=msecs(2),
+                                init_ops=1, finalize_ops=0)
+    result = run_program(program, 4, "stock", seed=1, machine=m,
+                         noise=quiet_profile())
+    assert result.app_time > 0
+
+
+# ------------------------------------------------------------ decomposition
+
+
+def test_decomposition_accounting_identity():
+    d = decompose_nas_noise("is", "A", regime="stock", seed=5)
+    assert d.direct_overhead + d.indirect_overhead == pytest.approx(
+        d.total_overhead, abs=2
+    )
+    assert 0.0 <= d.indirect_fraction <= 1.0
+    assert "direct" in d.render()
+
+
+def test_decomposition_noise_costs_something():
+    d = decompose_nas_noise("cg", "A", regime="stock", seed=3)
+    assert d.total_overhead > 0
+
+
+def test_decomposition_hpl_nearly_noise_free():
+    stock = decompose_nas_noise("is", "A", regime="stock", seed=4)
+    hpl = decompose_nas_noise("is", "A", regime="hpl", seed=4)
+    assert hpl.total_overhead < stock.total_overhead
+
+
+def test_decompose_custom_program():
+    program = Program.iterative(name="d", n_iters=3, iter_work=msecs(3),
+                                init_ops=1, finalize_ops=0)
+    d = decompose_noise(lambda: program, 4, regime="stock", seed=1)
+    assert d.clean_time > 0
+
+
+# ------------------------------------------------------------------- sweeps
+
+
+def test_scale_noise_profile():
+    base = cluster_node_profile()
+    doubled = scale_noise_profile(base, 2.0)
+    assert doubled.daemons[0].period_mean == base.daemons[0].period_mean // 2
+    assert doubled.storm.interval_mean == base.storm.interval_mean // 2
+    off = scale_noise_profile(base, 0.0)
+    assert off.daemons == () and off.storm is None
+    with pytest.raises(ValueError):
+        scale_noise_profile(base, -1.0)
+
+
+def test_noise_intensity_sweep_shape():
+    sweep = noise_intensity_sweep(factors=(0.0, 2.0), n_runs=4, base_seed=1)
+    stock = sweep.for_regime("stock")
+    hpl = sweep.for_regime("hpl")
+    assert len(stock) == 2 and len(hpl) == 2
+    # More noise hurts stock more than HPL.
+    stock_delta = stock[1].time_mean_s - stock[0].time_mean_s
+    hpl_delta = hpl[1].time_mean_s - hpl[0].time_mean_s
+    assert stock_delta >= hpl_delta - 1e-9
+    assert "Sweep" in sweep.render()
+
+
+def test_smt_factor_sweep_times_scale():
+    sweep = smt_factor_sweep(factors=(0.5, 0.9), n_runs=3, base_seed=2)
+    hpl = sweep.for_regime("hpl")
+    # A better SMT factor means the same calibrated work finishes sooner.
+    assert hpl[1].time_mean_s < hpl[0].time_mean_s
+    with pytest.raises(ValueError):
+        smt_factor_sweep(factors=(1.5,), n_runs=2)
+
+
+def test_spin_threshold_sweep_switch_tradeoff():
+    sweep = spin_threshold_sweep(thresholds_us=(500, 50_000), n_runs=4, base_seed=3)
+    stock = sweep.for_regime("stock")
+    # An (almost) pure-spin library context-switches less under stock Linux
+    # than an eagerly-blocking one.
+    assert stock[1].context_switches_mean <= stock[0].context_switches_mean
+    with pytest.raises(ValueError):
+        spin_threshold_sweep(thresholds_us=(0,), n_runs=2)

@@ -1,0 +1,37 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.units import MSEC, SEC, USEC, fmt_time, msecs, secs, to_msecs, to_seconds, usecs
+
+
+def test_base_constants():
+    assert USEC == 1
+    assert MSEC == 1_000
+    assert SEC == 1_000_000
+
+
+def test_conversions_round_trip():
+    assert secs(1.5) == 1_500_000
+    assert msecs(2.5) == 2_500
+    assert usecs(7.2) == 7
+    assert to_seconds(secs(3.25)) == pytest.approx(3.25)
+    assert to_msecs(msecs(4.5)) == pytest.approx(4.5)
+
+
+def test_conversions_are_integers():
+    assert isinstance(secs(0.001), int)
+    assert isinstance(msecs(0.5), int)
+    assert isinstance(usecs(1.4), int)
+
+
+def test_fmt_time_scales():
+    assert fmt_time(42) == "42us"
+    assert fmt_time(2_500) == "2.500ms"
+    assert fmt_time(1_500_000) == "1.500s"
+
+
+def test_fmt_time_boundaries():
+    assert fmt_time(999) == "999us"
+    assert fmt_time(1_000) == "1.000ms"
+    assert fmt_time(1_000_000) == "1.000s"

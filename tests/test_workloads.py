@@ -1,0 +1,117 @@
+"""Tests for the workload archetype library."""
+
+import pytest
+
+from repro.apps.spmd import PhaseKind
+from repro.apps.workloads import (
+    bulk_synchronous,
+    irregular_bsp,
+    parameter_sweep_batch,
+    pipeline,
+    stencil_with_checkpoints,
+)
+from repro.experiments.runner import run_program
+from repro.kernel.daemons import quiet_profile
+from repro.units import msecs
+
+
+ALL_FACTORIES = [
+    bulk_synchronous,
+    stencil_with_checkpoints,
+    pipeline,
+    parameter_sweep_batch,
+    irregular_bsp,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+def test_archetypes_build_valid_programs(factory):
+    program = factory()
+    assert program.phases[0].kind == PhaseKind.COMPUTE
+    assert program.n_syncs >= 1
+    starts = sum(1 for p in program.phases if p.timer_start)
+    stops = sum(1 for p in program.phases if p.timer_stop)
+    assert starts == 1 and stops == 1
+
+
+def small(factory, **kw):
+    return factory(**kw)
+
+
+@pytest.mark.parametrize(
+    "program",
+    [
+        bulk_synchronous(n_iters=4, iter_work=msecs(2)),
+        stencil_with_checkpoints(n_iters=6, iter_work=msecs(2), checkpoint_every=3),
+        pipeline(n_waves=10, wave_work=500),
+        parameter_sweep_batch(chunk_work=msecs(5), n_chunks=2),
+        irregular_bsp(n_iters=4, iter_work=msecs(2)),
+    ],
+    ids=["bsp", "stencil", "pipeline", "batch", "irregular"],
+)
+def test_archetypes_run_under_both_kernels(program):
+    for regime in ("stock", "hpl"):
+        result = run_program(program, 4, regime, seed=2, noise=quiet_profile())
+        assert result.app_time > 0
+
+
+def test_stencil_contains_checkpoints():
+    program = stencil_with_checkpoints(n_iters=9, checkpoint_every=3)
+    ckpts = [p for p in program.phases if p.label.startswith("ckpt")]
+    assert len(ckpts) == 2  # after iterations 3 and 6 (not after the last)
+    assert all(p.kind == PhaseKind.BLOCKIO for p in ckpts)
+
+
+def test_stencil_validation():
+    with pytest.raises(ValueError):
+        stencil_with_checkpoints(checkpoint_every=0)
+
+
+def test_irregular_requires_imbalance():
+    with pytest.raises(ValueError):
+        irregular_bsp(imbalance_sigma=0.0)
+
+
+def test_pipeline_is_noise_amplifying():
+    """The archetype contract: under identical noise, the pipeline shape
+    loses a larger *fraction* of its time than the batch shape."""
+    from repro.analysis.stats import summarize
+    from repro.experiments.runner import run_campaign
+
+    def rel_slowdown(factory_result_noisy, factory_result_quiet):
+        return factory_result_noisy / factory_result_quiet
+
+    def mean_time(program, noise):
+        times = []
+        for seed in range(3):
+            times.append(
+                run_program(program, 8, "stock", seed=seed, noise=noise).app_time
+            )
+        return sum(times) / len(times)
+
+    from repro.kernel.daemons import cluster_node_profile
+
+    pipe = pipeline(n_waves=80, wave_work=800)
+    batch = parameter_sweep_batch(chunk_work=msecs(30), n_chunks=2)
+    pipe_ratio = mean_time(pipe, cluster_node_profile()) / mean_time(
+        pipe, quiet_profile()
+    )
+    batch_ratio = mean_time(batch, cluster_node_profile()) / mean_time(
+        batch, quiet_profile()
+    )
+    assert pipe_ratio > batch_ratio
+
+
+def test_irregular_hpl_still_tightens():
+    """Even with app-intrinsic imbalance, HPL keeps run-to-run spread at or
+    below stock's (it cannot remove the imbalance itself)."""
+    from repro.analysis.stats import variation_pct
+
+    program_factory = lambda: irregular_bsp(n_iters=8, iter_work=msecs(5))
+    times = {"stock": [], "hpl": []}
+    for regime in times:
+        for seed in range(4):
+            times[regime].append(
+                run_program(program_factory(), 8, regime, seed=seed).app_time_s
+            )
+    assert variation_pct(times["hpl"]) <= variation_pct(times["stock"]) * 1.5
