@@ -2,13 +2,23 @@
 
 PY ?= python
 
-.PHONY: install test bench report figures examples clean
+.PHONY: install test lint bench report figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+# Static checks. ruff is optional (not vendored); fall back to a syntax
+# check via compileall so the target is useful on a bare toolchain.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; falling back to python -m compileall"; \
+		$(PY) -m compileall -q src tests benchmarks examples && echo "syntax OK"; \
+	fi
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

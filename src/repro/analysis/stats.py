@@ -49,11 +49,15 @@ def summarize(values: Sequence[float]) -> RunStatistics:
     if len(values) == 0:
         raise ValueError("no values to summarize")
     arr = np.asarray(values, dtype=float)
+    lo = float(arr.min())
+    hi = float(arr.max())
     return RunStatistics(
         n=arr.size,
-        minimum=float(arr.min()),
-        mean=float(arr.mean()),
-        maximum=float(arr.max()),
+        minimum=lo,
+        # Clamp: float summation can land a hair outside [min, max] (e.g.
+        # mean([1.9]*3) < 1.9), breaking the invariant consumers rely on.
+        mean=min(max(float(arr.mean()), lo), hi),
+        maximum=hi,
         variation=variation_pct(values),
         std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
         median=float(np.median(arr)),

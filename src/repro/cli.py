@@ -4,7 +4,10 @@ Subcommands::
 
     hpl-repro list                       # experiments and benchmarks
     hpl-repro run ep A --regime hpl      # one benchmark execution
-    hpl-repro campaign ep A --regime stock -n 100
+    hpl-repro stat ep A --regime stock   # perf-stat style counter report
+    hpl-repro latency ep A --regime hpl  # perf-sched-latency style table
+    hpl-repro trace ep A --format chrome -o t.json  # exportable event trace
+    hpl-repro campaign ep A --regime stock -n 100 --provenance runs.jsonl
     hpl-repro experiment tab2 -n 50      # regenerate a paper artifact
     hpl-repro topology                   # show the js22 model
 
@@ -42,6 +45,44 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["stock", "nice", "rt", "pinned", "hpl"])
     run.add_argument("--seed", type=int, default=0)
 
+    stat = sub.add_parser(
+        "stat", help="run one execution and print perf-stat style counters"
+    )
+    stat.add_argument("bench")
+    stat.add_argument("klass")
+    stat.add_argument("--regime", default="stock",
+                      choices=["stock", "nice", "rt", "pinned", "hpl"])
+    stat.add_argument("--seed", type=int, default=0)
+    stat.add_argument("--ranks-only", action="store_true",
+                      help="restrict the per-task table to application ranks")
+
+    lat = sub.add_parser(
+        "latency",
+        help="run one execution and print a perf-sched-latency style table",
+    )
+    lat.add_argument("bench")
+    lat.add_argument("klass")
+    lat.add_argument("--regime", default="stock",
+                     choices=["stock", "nice", "rt", "pinned", "hpl"])
+    lat.add_argument("--seed", type=int, default=0)
+    lat.add_argument("--all-tasks", action="store_true",
+                     help="include daemons and launchers, not just ranks")
+    lat.add_argument("--histogram", action="store_true",
+                     help="append a wakeup-latency histogram")
+
+    trace = sub.add_parser(
+        "trace", help="run one execution and export the scheduler event trace"
+    )
+    trace.add_argument("bench")
+    trace.add_argument("klass")
+    trace.add_argument("--regime", default="stock",
+                       choices=["stock", "nice", "rt", "pinned", "hpl"])
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--format", dest="fmt", default="chrome",
+                       choices=["chrome", "ftrace"])
+    trace.add_argument("-o", "--output", default="-",
+                       help="output file ('-' = stdout)")
+
     camp = sub.add_parser("campaign", help="run N repetitions and summarize")
     camp.add_argument("bench")
     camp.add_argument("klass")
@@ -49,6 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["stock", "nice", "rt", "pinned", "hpl"])
     camp.add_argument("-n", "--runs", type=int, default=50)
     camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument("--provenance", default=None, metavar="PATH",
+                      help="stream one JSONL provenance record per run to PATH")
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp.add_argument("exp_id", help="fig1 fig2 fig3 fig4 tab1a tab1b tab2 policy "
@@ -126,11 +169,97 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stat(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_nas_observed
+    from repro.obs import render_stat
+
+    run = run_nas_observed(
+        args.bench, args.klass, args.regime, seed=args.seed, with_trace=False
+    )
+    if args.ranks_only and run.kernel.perf.task_counters is not None:
+        wanted = set(run.rank_pids)
+        for pid in list(run.kernel.perf.task_counters):
+            if pid not in wanted:
+                del run.kernel.perf.task_counters[pid]
+    print(
+        render_stat(
+            run.kernel.perf,
+            wall_time_us=run.result.wall_time,
+            app_time_s=run.result.app_time_s,
+            title=f"{run.result.program_name} under {args.regime} (seed {args.seed})",
+        ),
+        end="",
+    )
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_nas_observed
+    from repro.obs import render_latency_table
+
+    run = run_nas_observed(
+        args.bench, args.klass, args.regime, seed=args.seed,
+        with_trace=False, with_counters=False,
+    )
+    pids = None if args.all_tasks else run.rank_pids
+    print(
+        f"{run.result.program_name} under {args.regime} (seed {args.seed}) — "
+        f"scheduling latencies"
+        + ("" if args.all_tasks else " of the application ranks")
+        + ":"
+    )
+    print(
+        render_latency_table(
+            run.observer.latency,
+            pids=pids,
+            names=run.names,
+            with_histogram=args.histogram,
+        ),
+        end="",
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_nas_observed
+    from repro.obs import trace_to_chrome, trace_to_ftrace
+
+    run = run_nas_observed(
+        args.bench, args.klass, args.regime, seed=args.seed,
+        with_latency=False, with_counters=False,
+    )
+    trace = run.observer.trace
+    if args.fmt == "chrome":
+        import json
+
+        payload = json.dumps(
+            trace_to_chrome(
+                trace,
+                names=run.names,
+                idle_pids=run.observer.idle_pids(),
+                end_time=run.kernel.sim.now,
+            )
+        )
+    else:
+        payload = trace_to_ftrace(trace, names=run.names)
+    if args.output == "-":
+        print(payload)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        print(
+            f"wrote {args.output} ({len(trace)} events, {args.fmt} format; "
+            f"dropped {trace.dropped})"
+        )
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_nas_campaign
 
     campaign = run_nas_campaign(
-        args.bench, args.klass, args.regime, args.runs, base_seed=args.seed
+        args.bench, args.klass, args.regime, args.runs, base_seed=args.seed,
+        provenance_path=args.provenance,
     )
     times = summarize(campaign.app_times_s())
     migs = summarize([float(v) for v in campaign.migrations()])
@@ -147,6 +276,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"  ctxsw min {switches.minimum:.0f}  avg {switches.mean:.2f}  "
         f"max {switches.maximum:.0f}"
     )
+    if args.provenance:
+        print(f"  provenance -> {args.provenance} ({campaign.n_runs} records)")
     return 0
 
 
@@ -200,6 +331,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_topology()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "stat":
+        return _cmd_stat(args)
+    if args.command == "latency":
+        return _cmd_latency(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     if args.command == "experiment":

@@ -26,8 +26,12 @@ from repro.apps.spmd import Program
 __all__ = [
     "KERNEL_VARIANTS",
     "build_kernel",
+    "resolve_kernel_config",
     "run_program",
     "run_nas",
+    "ObservedRun",
+    "run_program_observed",
+    "run_nas_observed",
     "run_campaign",
     "run_nas_campaign",
     "CampaignResult",
@@ -48,6 +52,20 @@ KERNEL_VARIANTS: Dict[str, Tuple[str, str]] = {
 _JOB_START = msecs(50)
 
 
+def resolve_kernel_config(
+    variant: str, config: Optional[KernelConfig] = None
+) -> KernelConfig:
+    """The configuration actually booted for *variant* (explicit *config*
+    wins).  Exposed so provenance can digest exactly what ran."""
+    if config is not None:
+        return config
+    if variant == "stock":
+        return KernelConfig.stock()
+    if variant == "hpl":
+        return KernelConfig.hpl()
+    raise ValueError(f"unknown kernel variant {variant!r}")
+
+
 def build_kernel(
     variant: str,
     *,
@@ -58,17 +76,10 @@ def build_kernel(
     """Boot a kernel of the named *variant* on *machine* (default js22)."""
     if machine is None:
         machine = power6_js22()
-    if config is None:
-        if variant == "stock":
-            config = KernelConfig.stock()
-        elif variant == "hpl":
-            config = KernelConfig.hpl()
-        else:
-            raise ValueError(f"unknown kernel variant {variant!r}")
-    return Kernel(machine, config, seed=seed)
+    return Kernel(machine, resolve_kernel_config(variant, config), seed=seed)
 
 
-def run_program(
+def _run_job(
     program: Program,
     nprocs: int,
     regime: str = "stock",
@@ -80,11 +91,15 @@ def run_program(
     cold_speed: Optional[float] = None,
     rewarm_scale: float = 1.0,
     horizon: Optional[int] = None,
-) -> JobResult:
-    """One full simulated execution of *program* under *regime*.
+    instrument: Optional[Callable[[Kernel], None]] = None,
+) -> MpiJob:
+    """One full simulated execution; returns the finished :class:`MpiJob`
+    (the kernel stays reachable through ``job.kernel`` for observers).
 
-    *regime* is a :data:`KERNEL_VARIANTS` key.  Returns the job's
-    :class:`~repro.apps.mpiexec.JobResult`.
+    *instrument* runs right after the kernel boots, before any daemon or
+    application task exists — the attachment point for observability.
+    Attaching is strictly passive, so instrumented and bare runs of the
+    same seed are identical.
     """
     if regime not in KERNEL_VARIANTS:
         raise ValueError(
@@ -92,6 +107,8 @@ def run_program(
         )
     variant, mode = KERNEL_VARIANTS[regime]
     kernel = build_kernel(variant, machine=machine, seed=seed, config=kernel_config)
+    if instrument is not None:
+        instrument(kernel)
     profile = noise if noise is not None else cluster_node_profile()
     daemons = DaemonSet(kernel, profile)
     daemons.start()
@@ -116,7 +133,22 @@ def run_program(
             f"{program.name} under {regime!r} (seed {seed}) did not finish by "
             f"t={horizon}us — events processed: {kernel.sim.events_processed}"
         )
-    return job.result
+    return job
+
+
+def run_program(
+    program: Program,
+    nprocs: int,
+    regime: str = "stock",
+    **kwargs,
+) -> JobResult:
+    """One full simulated execution of *program* under *regime*.
+
+    *regime* is a :data:`KERNEL_VARIANTS` key.  Returns the job's
+    :class:`~repro.apps.mpiexec.JobResult`.  Accepts the same keyword
+    arguments as :func:`_run_job`.
+    """
+    return _run_job(program, nprocs, regime, **kwargs).result
 
 
 def run_nas(
@@ -144,6 +176,89 @@ def run_nas(
         kernel_config=kernel_config,
         cold_speed=spec.cold_speed,
         rewarm_scale=spec.rewarm_scale,
+    )
+
+
+@dataclass
+class ObservedRun:
+    """A finished run plus everything its observer recorded."""
+
+    result: JobResult
+    kernel: Kernel
+    observer: "KernelObserver"
+    #: pids of the application ranks (the paper's subject tasks).
+    rank_pids: List[int]
+    #: pid -> task name, covering every task the kernel ever created.
+    names: Dict[int, str]
+
+
+def run_program_observed(
+    program: Program,
+    nprocs: int,
+    regime: str = "stock",
+    *,
+    capacity: int = 200_000,
+    with_trace: bool = True,
+    with_latency: bool = True,
+    with_counters: bool = True,
+    **kwargs,
+) -> ObservedRun:
+    """Like :func:`run_program`, but with a :class:`KernelObserver`
+    attached for the whole run.  Observation is passive: the returned
+    ``result`` is identical to an unobserved run of the same seed."""
+    from repro.obs import KernelObserver
+
+    holder: List[KernelObserver] = []
+
+    def instrument(kernel: Kernel) -> None:
+        holder.append(
+            KernelObserver(
+                kernel,
+                capacity=capacity,
+                with_trace=with_trace,
+                with_latency=with_latency,
+                with_counters=with_counters,
+            )
+        )
+
+    job = _run_job(program, nprocs, regime, instrument=instrument, **kwargs)
+    observer = holder[0]
+    return ObservedRun(
+        result=job.result,
+        kernel=job.kernel,
+        observer=observer,
+        rank_pids=[t.pid for t in job.app.rank_tasks()],
+        names=observer.names(),
+    )
+
+
+def run_nas_observed(
+    name: str,
+    klass: str,
+    regime: str = "stock",
+    *,
+    seed: int = 0,
+    machine: Optional[Machine] = None,
+    noise: Optional[NoiseProfile] = None,
+    kernel_config: Optional[KernelConfig] = None,
+    **observer_kwargs,
+) -> ObservedRun:
+    """Observed variant of :func:`run_nas`."""
+    if machine is None:
+        machine = power6_js22()
+    spec = nas_spec(name, klass)
+    program = nas_program(spec, machine)
+    return run_program_observed(
+        program,
+        spec.nprocs,
+        regime,
+        seed=seed,
+        machine=machine,
+        noise=noise,
+        kernel_config=kernel_config,
+        cold_speed=spec.cold_speed,
+        rewarm_scale=spec.rewarm_scale,
+        **observer_kwargs,
     )
 
 
@@ -187,26 +302,54 @@ def run_campaign(
     cold_speed: Optional[float] = None,
     rewarm_scale: float = 1.0,
     label: str = "",
+    provenance_path: Optional[str] = None,
 ) -> CampaignResult:
-    """Run *n_runs* independent repetitions."""
+    """Run *n_runs* independent repetitions.
+
+    With *provenance_path*, one JSONL record per run is streamed to that
+    file as the campaign progresses (schema: :mod:`repro.obs.provenance`),
+    so a partial campaign still leaves an auditable trail.
+    """
     if n_runs < 1:
         raise ValueError("n_runs must be >= 1")
+    variant = KERNEL_VARIANTS.get(regime, (regime, ""))[0]
+    booted_config = resolve_kernel_config(variant, kernel_config)
     results: List[JobResult] = []
-    for i in range(n_runs):
-        program = program_factory()
-        results.append(
-            run_program(
+    prov_fh = open(provenance_path, "w", encoding="utf-8") if provenance_path else None
+    try:
+        for i in range(n_runs):
+            program = program_factory()
+            seed = _derive_seed(base_seed, i)
+            result = run_program(
                 program,
                 nprocs,
                 regime,
-                seed=_derive_seed(base_seed, i),
+                seed=seed,
                 machine=machine_factory(),
                 noise=noise,
                 kernel_config=kernel_config,
                 cold_speed=cold_speed,
                 rewarm_scale=rewarm_scale,
             )
-        )
+            results.append(result)
+            if prov_fh is not None:
+                from repro.obs.provenance import append_record, run_record
+
+                append_record(
+                    prov_fh,
+                    run_record(
+                        result,
+                        bench=label or result.program_name,
+                        regime=regime,
+                        run_index=i,
+                        seed=seed,
+                        variant=variant,
+                        config=booted_config,
+                    ),
+                )
+    finally:
+        if prov_fh is not None:
+            prov_fh.close()
     return CampaignResult(label=label or results[0].program_name, regime=regime, results=results)
 
 
@@ -219,6 +362,7 @@ def run_nas_campaign(
     base_seed: int = 0,
     noise: Optional[NoiseProfile] = None,
     kernel_config: Optional[KernelConfig] = None,
+    provenance_path: Optional[str] = None,
 ) -> CampaignResult:
     """The paper's unit of measurement: N runs of one NAS benchmark under
     one regime (paper: N=1000)."""
@@ -238,4 +382,5 @@ def run_nas_campaign(
         cold_speed=spec.cold_speed,
         rewarm_scale=spec.rewarm_scale,
         label=spec.label,
+        provenance_path=provenance_path,
     )

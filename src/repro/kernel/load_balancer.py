@@ -177,6 +177,7 @@ class LoadBalancer:
 
     def _balance_domain(self, cpu_id: int, dom: SchedDomain) -> None:
         self.stats["periodic_attempts"] += 1
+        self.core.perf.record_balance_attempt()
         self.core.charge_overhead(cpu_id, self.config.balance_cost)
         local_count = self._group_count(dom.local_group)
         busiest_group = None
@@ -199,6 +200,7 @@ class LoadBalancer:
         moved, pinned_blocked = self._pull_from_group(busiest_group, cpu_id)
         if moved:
             self.stats["periodic_pulls"] += 1
+            self.core.perf.record_balance_pull()
             self._backoff[key] = 1
         elif pinned_blocked:
             # Imbalance persists but nothing can move: the kernel keeps
@@ -220,6 +222,7 @@ class LoadBalancer:
         if self._gated():
             return False
         self.stats["newidle_attempts"] += 1
+        self.core.perf.record_balance_attempt()
         self.core.charge_overhead(cpu_id, self.config.balance_cost)
         saw_running_rt: Optional[int] = None
         for dom in self.domains[cpu_id]:
@@ -231,6 +234,7 @@ class LoadBalancer:
                 if task is not None:
                     self.core.migrate_queued(task, cpu_id)
                     self.stats["newidle_pulls"] += 1
+                    self.core.perf.record_balance_pull()
                     return True
                 if (
                     saw_running_rt is None
@@ -251,6 +255,7 @@ class LoadBalancer:
             moved = self.core.active_migrate_running(saw_running_rt, cpu_id)
             if moved is not None:
                 self.stats["rt_active_pulls"] += 1
+                self.core.perf.record_balance_pull()
                 return True
         return False
 

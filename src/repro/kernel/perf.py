@@ -12,14 +12,104 @@ scheduler core.  :class:`PerfSession` reproduces a ``perf stat``-style
 measurement window: deltas of the system-wide counters between ``open`` and
 ``close``, which — exactly as the paper notes in §V — also picks up the
 residual activity of the measurement tooling itself (``perf``, ``chrt``).
+
+Beyond the paper's two counters, the fabric optionally breaks events down
+per scheduling class and per task (:meth:`PerfEvents.enable_class_accounting`
+/ :meth:`PerfEvents.enable_task_accounting`): voluntary vs. involuntary
+switches, preemptions suffered attributed to the *preemptor's* class, and
+the balancer's attempt/success ratio.  Both breakdowns are off by default so
+a campaign with no observers pays nothing per event; external observers
+(e.g. :mod:`repro.obs`) subscribe through :attr:`PerfEvents.migration_observers`
+rather than monkey-patching the recorders.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["PerfEvents", "PerfSession", "PerfReading"]
+from repro.kernel.task import SchedPolicy, Task
+
+__all__ = [
+    "PerfEvents",
+    "PerfSession",
+    "PerfReading",
+    "ClassCounters",
+    "TaskCounters",
+    "policy_class_name",
+]
+
+#: Scheduling policy -> scheduling-class name (the run queue's class table
+#: keys).  Kept here so counters can be attributed without a run queue at
+#: hand (e.g. for a task that is being displaced off-queue).
+_POLICY_CLASS: Dict[str, str] = {
+    SchedPolicy.NORMAL: "fair",
+    SchedPolicy.BATCH: "fair",
+    SchedPolicy.FIFO: "rt",
+    SchedPolicy.RR: "rt",
+    SchedPolicy.HPC: "hpc",
+    SchedPolicy.IDLE: "idle",
+}
+
+
+def policy_class_name(policy: str) -> str:
+    """Scheduling-class name serving *policy* (``'fair'``, ``'rt'``, ...)."""
+    try:
+        return _POLICY_CLASS[policy]
+    except KeyError:
+        raise ValueError(f"unknown policy {policy!r}") from None
+
+
+@dataclass
+class ClassCounters:
+    """Per-scheduling-class event breakdown (opt-in)."""
+
+    context_switches: int = 0
+    cpu_migrations: int = 0
+    voluntary_switches: int = 0
+    involuntary_switches: int = 0
+    #: preemptor class name -> times a task of *this* class was displaced
+    #: by a task of *that* class.
+    preempted_by: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "context-switches": self.context_switches,
+            "cpu-migrations": self.cpu_migrations,
+            "voluntary-switches": self.voluntary_switches,
+            "involuntary-switches": self.involuntary_switches,
+            "preempted-by": dict(self.preempted_by),
+        }
+
+
+@dataclass
+class TaskCounters:
+    """Per-task event breakdown (opt-in).
+
+    ``switches_in`` counts the times the task was switched *onto* a CPU —
+    the per-task share of the system-wide ``context-switches`` counter.
+    """
+
+    pid: int
+    name: str
+    sched_class: str
+    switches_in: int = 0
+    cpu_migrations: int = 0
+    voluntary_switches: int = 0
+    involuntary_switches: int = 0
+    preempted_by: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "pid": self.pid,
+            "name": self.name,
+            "class": self.sched_class,
+            "switches-in": self.switches_in,
+            "cpu-migrations": self.cpu_migrations,
+            "voluntary-switches": self.voluntary_switches,
+            "involuntary-switches": self.involuntary_switches,
+            "preempted-by": dict(self.preempted_by),
+        }
 
 
 class PerfEvents:
@@ -36,18 +126,20 @@ class PerfEvents:
         self.per_cpu_migrations = [0] * n_cpus
         #: (time, src_cpu, dst_cpu, pid) tuples, recorded only when tracing.
         self.migration_trace: Optional[List[Tuple[int, int, int, int]]] = None
+        #: Observers called as fn(time, pid, src_cpu, dst_cpu) on every
+        #: migration (the hook :func:`repro.sim.trace.attach_trace` and the
+        #: obs layer subscribe to — no monkey-patching).
+        self.migration_observers: List[Callable[[int, int, int, int], None]] = []
+        #: Per-class breakdown, or None while disabled (the default).
+        self.class_counters: Optional[Dict[str, ClassCounters]] = None
+        #: Per-task breakdown keyed by pid, or None while disabled.
+        self.task_counters: Optional[Dict[int, TaskCounters]] = None
+        #: Balancer effort: attempts (periodic + new-idle passes) vs. pulls
+        #: that actually moved a task.  Always counted (two plain ints).
+        self.balance_attempts = 0
+        self.balance_pulls = 0
 
-    # ------------------------------------------------------------- recorders
-
-    def record_context_switch(self, cpu_id: int) -> None:
-        self.context_switches += 1
-        self.per_cpu_context_switches[cpu_id] += 1
-
-    def record_migration(self, time: int, pid: int, src_cpu: int, dst_cpu: int) -> None:
-        self.cpu_migrations += 1
-        self.per_cpu_migrations[dst_cpu] += 1
-        if self.migration_trace is not None:
-            self.migration_trace.append((time, src_cpu, dst_cpu, pid))
+    # ----------------------------------------------------------- enablement
 
     def enable_migration_trace(self) -> None:
         """Start recording individual migration records (off by default to
@@ -55,11 +147,129 @@ class PerfEvents:
         if self.migration_trace is None:
             self.migration_trace = []
 
+    def enable_class_accounting(self) -> Dict[str, ClassCounters]:
+        """Start the per-scheduling-class breakdown (idempotent)."""
+        if self.class_counters is None:
+            self.class_counters = {}
+        return self.class_counters
+
+    def enable_task_accounting(self) -> Dict[int, TaskCounters]:
+        """Start the per-task breakdown (idempotent)."""
+        if self.task_counters is None:
+            self.task_counters = {}
+        return self.task_counters
+
+    # -------------------------------------------------------------- lookups
+
+    def _class(self, name: str) -> ClassCounters:
+        counters = self.class_counters
+        assert counters is not None
+        entry = counters.get(name)
+        if entry is None:
+            entry = counters[name] = ClassCounters()
+        return entry
+
+    def _task(self, task: Task) -> TaskCounters:
+        counters = self.task_counters
+        assert counters is not None
+        entry = counters.get(task.pid)
+        if entry is None:
+            entry = counters[task.pid] = TaskCounters(
+                task.pid, task.name, policy_class_name(task.policy)
+            )
+        return entry
+
+    # ------------------------------------------------------------- recorders
+
+    def record_context_switch(
+        self,
+        cpu_id: int,
+        next_task: Optional[Task] = None,
+        *,
+        class_name: Optional[str] = None,
+    ) -> None:
+        """Count one context switch on *cpu_id*.  *next_task* (or, for
+        anonymous kernel activity like the migration daemon, *class_name*)
+        attributes the event in the optional breakdowns."""
+        self.context_switches += 1
+        self.per_cpu_context_switches[cpu_id] += 1
+        if self.class_counters is not None:
+            if class_name is None and next_task is not None:
+                class_name = policy_class_name(next_task.policy)
+            if class_name is not None:
+                self._class(class_name).context_switches += 1
+        if self.task_counters is not None and next_task is not None:
+            self._task(next_task).switches_in += 1
+
+    def record_migration(
+        self,
+        time: int,
+        pid: int,
+        src_cpu: int,
+        dst_cpu: int,
+        task: Optional[Task] = None,
+    ) -> None:
+        self.cpu_migrations += 1
+        self.per_cpu_migrations[dst_cpu] += 1
+        if self.migration_trace is not None:
+            self.migration_trace.append((time, src_cpu, dst_cpu, pid))
+        if task is not None:
+            if self.class_counters is not None:
+                self._class(policy_class_name(task.policy)).cpu_migrations += 1
+            if self.task_counters is not None:
+                self._task(task).cpu_migrations += 1
+        if self.migration_observers:
+            for observer in self.migration_observers:
+                observer(time, pid, src_cpu, dst_cpu)
+
+    def record_voluntary_switch(self, task: Task) -> None:
+        """The running *task* blocked (a voluntary switch)."""
+        if self.class_counters is not None:
+            self._class(policy_class_name(task.policy)).voluntary_switches += 1
+        if self.task_counters is not None:
+            self._task(task).voluntary_switches += 1
+
+    def record_preemption(self, victim: Task, preemptor_class: str) -> None:
+        """*victim* was involuntarily displaced by a task of
+        *preemptor_class* (the §V asymmetry: who steals time from whom)."""
+        if self.class_counters is not None:
+            entry = self._class(policy_class_name(victim.policy))
+            entry.involuntary_switches += 1
+            entry.preempted_by[preemptor_class] = (
+                entry.preempted_by.get(preemptor_class, 0) + 1
+            )
+        if self.task_counters is not None:
+            entry_t = self._task(victim)
+            entry_t.involuntary_switches += 1
+            entry_t.preempted_by[preemptor_class] = (
+                entry_t.preempted_by.get(preemptor_class, 0) + 1
+            )
+
+    def record_balance_attempt(self) -> None:
+        self.balance_attempts += 1
+
+    def record_balance_pull(self) -> None:
+        self.balance_pulls += 1
+
+    # ------------------------------------------------------------ snapshots
+
     def snapshot(self) -> Dict[str, int]:
         return {
             self.CONTEXT_SWITCHES: self.context_switches,
             self.CPU_MIGRATIONS: self.cpu_migrations,
         }
+
+    def class_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-class breakdown as plain dicts (empty when disabled)."""
+        if self.class_counters is None:
+            return {}
+        return {name: c.as_dict() for name, c in sorted(self.class_counters.items())}
+
+    def task_snapshot(self) -> Dict[int, Dict[str, object]]:
+        """Per-task breakdown as plain dicts (empty when disabled)."""
+        if self.task_counters is None:
+            return {}
+        return {pid: c.as_dict() for pid, c in sorted(self.task_counters.items())}
 
 
 @dataclass(frozen=True)

@@ -109,6 +109,14 @@ class SchedCore:
         self.newidle_hook: Optional[Callable[[int], bool]] = None
         #: Observers called as fn(time, cpu, prev, next) on every switch.
         self.switch_hooks: List[Callable[[int, int, Task, Task], None]] = []
+        #: Observers called as fn(time, cpu, task, is_wakeup) the moment a
+        #: task becomes runnable, *before* the preemption check — so a
+        #: latency observer always sees the enqueue before the (possibly
+        #: same-instant) switch that serves it.
+        self.wakeup_hooks: List[Callable[[int, int, Task, bool], None]] = []
+        #: Observers called as fn(time, cpu, victim, preemptor_class) when
+        #: the running task is involuntarily displaced.
+        self.preempt_hooks: List[Callable[[int, int, Task, str], None]] = []
 
         self._idle_tasks: List[Optional[Task]] = [None] * machine.n_cpus
 
@@ -240,7 +248,7 @@ class SchedCore:
             raise ValueError(f"{task!r} affinity forbids cpu {new_cpu}")
         if old is not None:
             task.nr_migrations += 1
-            self.perf.record_migration(self.sim.now, task.pid, old, new_cpu)
+            self.perf.record_migration(self.sim.now, task.pid, old, new_cpu, task=task)
             if task.warmth is not None:
                 self._apply_lazy_eviction(task)
                 self.warmth.migrate(task.warmth, new_cpu)
@@ -280,6 +288,9 @@ class SchedCore:
         rq = self.rq_of(task)
         cls = rq.class_of(task)
         task.state = TaskState.RUNNABLE
+        if self.wakeup_hooks:
+            for hook in self.wakeup_hooks:
+                hook(self.sim.now, rq.cpu_id, task, wakeup)
         cls.enqueue(rq.queues[cls.name], task, wakeup=wakeup)
         self._check_preempt(rq, task)
 
@@ -306,7 +317,7 @@ class SchedCore:
             ):
                 preempt = True  # the spinner's next sched_yield()
         if preempt:
-            self.preempt_curr(rq)
+            self.preempt_curr(rq, by=woken)
         else:
             # The new arrival may shorten the current slice.
             self._program(rq)
@@ -320,8 +331,10 @@ class SchedCore:
             if thread.cpu_id != cpu_id:
                 self.update_curr(thread.cpu_id)
 
-    def preempt_curr(self, rq: CpuRunqueue) -> None:
-        """Involuntarily displace the running task and reschedule."""
+    def preempt_curr(self, rq: CpuRunqueue, by: Optional[Task] = None) -> None:
+        """Involuntarily displace the running task and reschedule.  *by* is
+        the preemptor when known (a wakeup); a slice expiry rotates within
+        the victim's own class and is attributed to it."""
         curr = rq.curr
         if curr is None:
             self._dispatch(rq)
@@ -331,6 +344,7 @@ class SchedCore:
         rq.curr = None
         if not curr.is_idle:
             curr.nr_involuntary_switches += 1
+            self._note_preemption(rq, curr, by)
             curr.state = TaskState.RUNNABLE
             self._snapshot_eviction(curr)
             cls = rq.class_of(curr)
@@ -340,6 +354,15 @@ class SchedCore:
             cls = rq.class_of(curr)
             cls.put_prev(rq.queues[cls.name], curr)
         self._dispatch(rq, prev=curr)
+
+    def _note_preemption(self, rq: CpuRunqueue, victim: Task, by: Optional[Task]) -> None:
+        """Attribute an involuntary displacement of *victim* to the
+        preemptor's scheduling class in the perf fabric and the hooks."""
+        by_class = rq.class_of(by if by is not None else victim).name
+        self.perf.record_preemption(victim, by_class)
+        if self.preempt_hooks:
+            for hook in self.preempt_hooks:
+                hook(self.sim.now, rq.cpu_id, victim, by_class)
 
     def block_current(self, cpu_id: int) -> Task:
         """The running task sleeps (voluntary switch).  Returns it."""
@@ -352,6 +375,7 @@ class SchedCore:
         curr.state = TaskState.SLEEPING
         curr.sleep_start = self.sim.now
         curr.nr_voluntary_switches += 1
+        self.perf.record_voluntary_switch(curr)
         self._snapshot_eviction(curr)
         rq.curr = None
         self._dispatch(rq, prev=curr)
@@ -422,12 +446,18 @@ class SchedCore:
         self.update_curr(cpu_id)
         self._checkpoint_siblings(cpu_id)
         victim.nr_involuntary_switches += 1
+        # The migration daemon is an RT-class kernel thread: the
+        # displacement is charged to the RT class.
+        self.perf.record_preemption(victim, "rt")
+        if self.preempt_hooks:
+            for hook in self.preempt_hooks:
+                hook(self.sim.now, cpu_id, victim, "rt")
         victim.state = TaskState.RUNNABLE
         self._snapshot_eviction(victim)
         rq.curr = None
         # The migration daemon briefly runs on the source CPU: one switch
         # into the daemon here; the switch out of it is the dispatch below.
-        self.perf.record_context_switch(cpu_id)
+        self.perf.record_context_switch(cpu_id, class_name="rt")
         self.set_task_cpu(victim, dst_cpu)
         dst_rq = self.rqs[dst_cpu]
         cls = dst_rq.class_of(victim)
@@ -501,7 +531,7 @@ class SchedCore:
         # Busy state may flip (idle <-> task): settle neighbours first.
         self._checkpoint_siblings(rq.cpu_id)
         if next_task is not prev:
-            self.perf.record_context_switch(rq.cpu_id)
+            self.perf.record_context_switch(rq.cpu_id, next_task)
             next_task.nr_switches += 1
             if not next_task.is_idle:
                 next_task.pending_delay += self.config.switch_cost

@@ -1,0 +1,58 @@
+"""Observability: the simulator's ``perf sched`` analog.
+
+The paper's whole methodology is *observation*: ``perf stat`` counters in
+§V, per-class accounting in §IV.  This package grows that measurement stack
+from "how many events" to "where the time went":
+
+* :mod:`repro.obs.latency` — wakeup-to-run delay, time-on-runqueue and
+  preemption-displacement accounting (``perf sched latency``);
+* :mod:`repro.obs.export` — Chrome/Perfetto trace-event JSON and
+  ftrace-style text serialisation of a :class:`~repro.sim.trace.SchedTrace`
+  (``perf sched record`` / ``timehist`` for off-the-shelf viewers);
+* :mod:`repro.obs.stat` — ``perf stat``-style rendering of the counter
+  fabric, including the per-class and per-task breakdowns;
+* :mod:`repro.obs.provenance` — JSONL run records (seed, config digest,
+  counters, latency summary) that make campaign trajectories
+  reconstructible;
+* :mod:`repro.obs.observer` — :class:`KernelObserver`, the one-call attach
+  wiring all of the above into a kernel through the first-class hook points
+  (no monkey-patching).
+
+Everything here is strictly passive: attaching an observer never consumes
+simulation randomness or changes event timing, so observed and unobserved
+runs of the same seed are identical.
+"""
+
+from repro.obs.latency import LatencyAccounting, LatencySummary, TaskLatency
+from repro.obs.export import (
+    trace_to_chrome,
+    trace_to_ftrace,
+    write_chrome_trace,
+    write_ftrace,
+)
+from repro.obs.observer import KernelObserver, observe
+from repro.obs.provenance import (
+    PROVENANCE_SCHEMA_VERSION,
+    config_digest,
+    read_records,
+    run_record,
+)
+from repro.obs.stat import render_latency_table, render_stat
+
+__all__ = [
+    "LatencyAccounting",
+    "LatencySummary",
+    "TaskLatency",
+    "KernelObserver",
+    "observe",
+    "trace_to_chrome",
+    "trace_to_ftrace",
+    "write_chrome_trace",
+    "write_ftrace",
+    "render_stat",
+    "render_latency_table",
+    "PROVENANCE_SCHEMA_VERSION",
+    "config_digest",
+    "run_record",
+    "read_records",
+]

@@ -1,0 +1,198 @@
+"""Trace export to standard formats (the ``perf sched record`` output side).
+
+Two serialisations of a :class:`~repro.sim.trace.SchedTrace`:
+
+* **Chrome/Perfetto trace-event JSON** (:func:`trace_to_chrome`) — the
+  ``chrome://tracing`` / https://ui.perfetto.dev "trace event format".
+  SWITCH events are folded into per-CPU "X" (complete) slices, one track
+  per CPU, so the viewer shows the same CPU-occupancy timeline as
+  ``perf sched timehist``; wakeups and migrations become "i" instants.
+* **ftrace-style text** (:func:`trace_to_ftrace`) — one
+  ``sched_switch`` / ``sched_wakeup`` / ``sched_migrate_task`` line per
+  event, grep-friendly and diffable.
+
+Both are pure functions over the recorded events: exporting never touches
+the kernel, so it can run long after the simulation finished.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import SchedTrace, TraceKind
+
+__all__ = [
+    "trace_to_chrome",
+    "trace_to_ftrace",
+    "write_chrome_trace",
+    "write_ftrace",
+]
+
+_PROCESS = 1  # single simulated machine -> one Chrome "process"
+
+
+def _label(pid: int, names: Optional[Dict[int, str]]) -> str:
+    if names is not None and pid in names:
+        return f"{names[pid]}/{pid}"
+    return f"pid {pid}"
+
+
+def trace_to_chrome(
+    trace: SchedTrace,
+    *,
+    names: Optional[Dict[int, str]] = None,
+    idle_pids: Optional[set] = None,
+    end_time: Optional[int] = None,
+) -> dict:
+    """Serialise *trace* to a Chrome trace-event ``dict`` (JSON-ready).
+
+    Each CPU is a thread (track) of one process; a SWITCH to task *t* opens
+    an "X" slice on that CPU track that the next SWITCH closes.  *idle_pids*
+    are rendered as gaps rather than slices.  *end_time* (µs) closes slices
+    still open when the trace stops.
+    """
+    idle = idle_pids or set()
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PROCESS,
+            "args": {"name": "simulated machine"},
+        }
+    ]
+    cpus = sorted({e.cpu for e in trace.iter_all() if e.cpu >= 0})
+    for cpu in cpus:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PROCESS,
+                "tid": cpu,
+                "args": {"name": f"cpu {cpu}"},
+            }
+        )
+
+    #: cpu -> (pid, slice start) for the currently-open occupancy slice.
+    open_slice: Dict[int, Tuple[int, int]] = {}
+    last_time = 0
+
+    def close(cpu: int, now: int) -> None:
+        slot = open_slice.pop(cpu, None)
+        if slot is None:
+            return
+        pid, since = slot
+        if pid in idle:
+            return
+        events.append(
+            {
+                "name": _label(pid, names),
+                "cat": "sched",
+                "ph": "X",
+                "ts": since,
+                "dur": max(now - since, 0),
+                "pid": _PROCESS,
+                "tid": cpu,
+                "args": {"task": pid},
+            }
+        )
+
+    for e in trace.iter_all():
+        last_time = max(last_time, e.time)
+        if e.kind == TraceKind.SWITCH:
+            close(e.cpu, e.time)
+            open_slice[e.cpu] = (e.pid, e.time)
+        elif e.kind == TraceKind.WAKEUP:
+            events.append(
+                {
+                    "name": f"wakeup {_label(e.pid, names)}",
+                    "cat": "sched",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": e.time,
+                    "pid": _PROCESS,
+                    "tid": e.cpu,
+                    "args": {"task": e.pid},
+                }
+            )
+        elif e.kind == TraceKind.MIGRATE:
+            events.append(
+                {
+                    "name": f"migrate {_label(e.pid, names)}",
+                    "cat": "sched",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": e.time,
+                    "pid": _PROCESS,
+                    "tid": e.cpu,
+                    "args": {"task": e.pid, "src_cpu": e.prev_cpu, "dst_cpu": e.cpu},
+                }
+            )
+        elif e.kind == TraceKind.MARK:
+            events.append(
+                {
+                    "name": e.label or "mark",
+                    "cat": "mark",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": e.time,
+                    "pid": _PROCESS,
+                    "tid": e.cpu if e.cpu >= 0 else 0,
+                    "args": {},
+                }
+            )
+
+    finish = last_time if end_time is None else end_time
+    for cpu in list(open_slice):
+        close(cpu, finish)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs.export", "time_unit": "us"},
+    }
+
+
+def trace_to_ftrace(
+    trace: SchedTrace, *, names: Optional[Dict[int, str]] = None
+) -> str:
+    """Serialise *trace* to ftrace-style text, one event per line."""
+
+    def comm(pid: int) -> str:
+        if names is not None and pid in names:
+            return names[pid]
+        return f"task-{pid}"
+
+    lines: List[str] = ["# tracer: sched (simulated)", "#   TIME-US  CPU  EVENT"]
+    for e in trace.iter_all():
+        stamp = f"{e.time:>12d}  [{e.cpu:03d}]"
+        if e.kind == TraceKind.SWITCH:
+            lines.append(
+                f"{stamp}  sched_switch: prev_pid={e.prev_pid} "
+                f"==> next_comm={comm(e.pid)} next_pid={e.pid}"
+            )
+        elif e.kind == TraceKind.WAKEUP:
+            lines.append(
+                f"{stamp}  sched_wakeup: comm={comm(e.pid)} pid={e.pid} "
+                f"target_cpu={e.cpu}"
+            )
+        elif e.kind == TraceKind.MIGRATE:
+            lines.append(
+                f"{stamp}  sched_migrate_task: comm={comm(e.pid)} pid={e.pid} "
+                f"orig_cpu={e.prev_cpu} dest_cpu={e.cpu}"
+            )
+        elif e.kind == TraceKind.MARK:
+            lines.append(f"{stamp}  mark: {e.label}")
+    return "\n".join(lines) + "\n"
+
+
+def write_chrome_trace(trace: SchedTrace, path: str, **kwargs) -> None:
+    """Write the Chrome trace-event JSON for *trace* to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace_to_chrome(trace, **kwargs), fh)
+
+
+def write_ftrace(trace: SchedTrace, path: str, **kwargs) -> None:
+    """Write the ftrace-style text for *trace* to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace_to_ftrace(trace, **kwargs))

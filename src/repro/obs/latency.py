@@ -1,0 +1,315 @@
+"""Scheduling-latency accounting (the ``perf sched latency`` analog).
+
+Three latency families, per task:
+
+* **wakeup-to-run** — from the instant a sleeping task becomes runnable to
+  the instant it is switched onto a CPU.  This is the daemons' view of the
+  world under stock Linux ("the scheduler tends to run it as soon as
+  possible") and the ranks' pain under contention;
+* **preemption displacement** — from the instant the *running* task is
+  involuntarily displaced to the instant it runs again (the Fig. 1
+  mechanism: one displaced rank stalls the whole application);
+* **time-on-runqueue** — every runnable wait, whatever started it (wakeup,
+  fork, preemption, or a ``sched_yield`` requeue).
+
+The accounting subscribes to the scheduler core's first-class hook points
+(:attr:`~repro.kernel.sched_core.SchedCore.wakeup_hooks`,
+``preempt_hooks``, ``switch_hooks``); it allocates only while attached, so
+an unobserved campaign pays nothing.  Aggregation is per task —
+:class:`TaskLatency` — plus raw ``(pid, delay)`` samples for histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.histogram import Histogram, build_histogram
+from repro.kernel.task import Task, TaskState
+
+__all__ = ["TaskLatency", "LatencySummary", "LatencyAccounting"]
+
+#: Pending-wait kinds (what put the task on the run queue).
+_WAKEUP = "wakeup"
+_FORK = "fork"
+_PREEMPT = "preempt"
+_REQUEUE = "requeue"
+
+
+class TaskLatency:
+    """Aggregated scheduling latencies of one task."""
+
+    __slots__ = (
+        "pid",
+        "name",
+        "runtime",
+        "n_waits",
+        "total_wait",
+        "max_wait",
+        "max_wait_at",
+        "n_wakeups",
+        "total_wakeup_wait",
+        "max_wakeup_wait",
+        "max_wakeup_wait_at",
+        "n_preemptions",
+        "total_preempt_wait",
+        "max_preempt_wait",
+    )
+
+    def __init__(self, pid: int, name: str) -> None:
+        self.pid = pid
+        self.name = name
+        #: On-CPU time observed through switch intervals, µs.
+        self.runtime = 0
+        # -- every runnable wait (time-on-runqueue) --
+        self.n_waits = 0
+        self.total_wait = 0
+        self.max_wait = 0
+        #: Simulated instant (µs) at which the worst delay *ended*.
+        self.max_wait_at = 0
+        # -- wakeup-to-run --
+        self.n_wakeups = 0
+        self.total_wakeup_wait = 0
+        self.max_wakeup_wait = 0
+        #: Simulated instant (µs) at which the worst wakeup wait *ended*.
+        self.max_wakeup_wait_at = 0
+        # -- preemption displacement --
+        self.n_preemptions = 0
+        self.total_preempt_wait = 0
+        self.max_preempt_wait = 0
+
+    @property
+    def avg_wait(self) -> float:
+        return self.total_wait / self.n_waits if self.n_waits else 0.0
+
+    @property
+    def avg_wakeup_wait(self) -> float:
+        return self.total_wakeup_wait / self.n_wakeups if self.n_wakeups else 0.0
+
+    @property
+    def avg_preempt_wait(self) -> float:
+        return (
+            self.total_preempt_wait / self.n_preemptions if self.n_preemptions else 0.0
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "pid": self.pid,
+            "name": self.name,
+            "runtime-us": self.runtime,
+            "waits": self.n_waits,
+            "total-wait-us": self.total_wait,
+            "max-wait-us": self.max_wait,
+            "wakeups": self.n_wakeups,
+            "max-wakeup-wait-us": self.max_wakeup_wait,
+            "preemptions": self.n_preemptions,
+            "max-preempt-wait-us": self.max_preempt_wait,
+        }
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """System- or group-wide rollup of :class:`TaskLatency` entries."""
+
+    n_tasks: int
+    runtime: int
+    n_wakeups: int
+    avg_wakeup_wait: float
+    max_wakeup_wait: int
+    n_preemptions: int
+    avg_preempt_wait: float
+    max_preempt_wait: int
+    total_runqueue_wait: int
+    max_runqueue_wait: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tasks": self.n_tasks,
+            "runtime-us": self.runtime,
+            "wakeups": self.n_wakeups,
+            "avg-wakeup-wait-us": round(self.avg_wakeup_wait, 3),
+            "max-wakeup-wait-us": self.max_wakeup_wait,
+            "preemptions": self.n_preemptions,
+            "avg-preempt-wait-us": round(self.avg_preempt_wait, 3),
+            "max-preempt-wait-us": self.max_preempt_wait,
+            "total-runqueue-wait-us": self.total_runqueue_wait,
+            "max-runqueue-wait-us": self.max_runqueue_wait,
+        }
+
+
+class LatencyAccounting:
+    """Hook-driven latency accounting over one kernel's lifetime."""
+
+    def __init__(self) -> None:
+        self.tasks: Dict[int, TaskLatency] = {}
+        #: Raw (pid, delay µs) samples per family, for histograms.
+        self.wakeup_samples: List[Tuple[int, int]] = []
+        self.preempt_samples: List[Tuple[int, int]] = []
+        #: pid -> (runnable since, kind) while waiting for a CPU.
+        self._pending: Dict[int, Tuple[int, str]] = {}
+        #: cpu -> (pid, running since) for on-CPU time accounting.
+        self._running: Dict[int, Tuple[int, int]] = {}
+        #: cpu -> pid -> on-CPU time, for interference attribution.
+        self.cpu_runtime: Dict[int, Dict[int, int]] = {}
+        self._attached_kernel = None
+        self.attached_at: Optional[int] = None
+
+    # ------------------------------------------------------------ attaching
+
+    def attach(self, kernel) -> "LatencyAccounting":
+        """Subscribe to *kernel*'s scheduler hook points."""
+        if self._attached_kernel is not None:
+            raise RuntimeError("latency accounting already attached")
+        self._attached_kernel = kernel
+        self.attached_at = kernel.sim.now
+        kernel.core.wakeup_hooks.append(self._on_wakeup)
+        kernel.core.preempt_hooks.append(self._on_preempt)
+        kernel.core.switch_hooks.append(self._on_switch)
+        return self
+
+    # ---------------------------------------------------------------- hooks
+
+    def _entry(self, task: Task) -> TaskLatency:
+        entry = self.tasks.get(task.pid)
+        if entry is None:
+            entry = self.tasks[task.pid] = TaskLatency(task.pid, task.name)
+        return entry
+
+    def _on_wakeup(self, time: int, cpu: int, task: Task, is_wakeup: bool) -> None:
+        if task.is_idle:
+            return
+        self._pending.setdefault(task.pid, (time, _WAKEUP if is_wakeup else _FORK))
+
+    def _on_preempt(self, time: int, cpu: int, victim: Task, by_class: str) -> None:
+        self._pending.setdefault(victim.pid, (time, _PREEMPT))
+
+    def _on_switch(self, time: int, cpu: int, prev: Optional[Task], nxt: Task) -> None:
+        # Close the previous occupancy interval of this CPU.
+        occupancy = self._running.get(cpu)
+        if occupancy is not None:
+            pid0, since = occupancy
+            delta = time - since
+            if delta > 0:
+                per_cpu = self.cpu_runtime.setdefault(cpu, {})
+                per_cpu[pid0] = per_cpu.get(pid0, 0) + delta
+                entry0 = self.tasks.get(pid0)
+                if entry0 is not None:
+                    entry0.runtime += delta
+        self._running[cpu] = (nxt.pid, time)
+
+        # A task requeued outside the wakeup/preempt hooks (sched_yield)
+        # starts a plain runqueue wait.
+        if prev is not None and not prev.is_idle and prev.state == TaskState.RUNNABLE:
+            self._pending.setdefault(prev.pid, (time, _REQUEUE))
+
+        # The incoming task stops waiting.
+        pending = self._pending.pop(nxt.pid, None)
+        if pending is None:
+            return
+        since, kind = pending
+        wait = time - since
+        entry = self._entry(nxt)
+        entry.n_waits += 1
+        entry.total_wait += wait
+        if wait >= entry.max_wait:
+            entry.max_wait = wait
+            entry.max_wait_at = time
+        if kind == _WAKEUP:
+            entry.n_wakeups += 1
+            entry.total_wakeup_wait += wait
+            if wait >= entry.max_wakeup_wait:
+                entry.max_wakeup_wait = wait
+                entry.max_wakeup_wait_at = time
+            self.wakeup_samples.append((nxt.pid, wait))
+        elif kind == _PREEMPT:
+            entry.n_preemptions += 1
+            entry.total_preempt_wait += wait
+            if wait > entry.max_preempt_wait:
+                entry.max_preempt_wait = wait
+            self.preempt_samples.append((nxt.pid, wait))
+
+    # -------------------------------------------------------------- queries
+
+    def entries(self, pids: Optional[Iterable[int]] = None) -> List[TaskLatency]:
+        """Per-task aggregates, optionally restricted to *pids*, ordered by
+        worst scheduling delay (the ``perf sched latency`` sort)."""
+        if pids is None:
+            selected = list(self.tasks.values())
+        else:
+            selected = [self.tasks[p] for p in pids if p in self.tasks]
+        return sorted(
+            selected, key=lambda e: (e.max_wait, e.max_wakeup_wait), reverse=True
+        )
+
+    def summary(self, pids: Optional[Iterable[int]] = None) -> LatencySummary:
+        entries = self.entries(pids)
+        n_wakeups = sum(e.n_wakeups for e in entries)
+        n_preempts = sum(e.n_preemptions for e in entries)
+        total_wakeup = sum(e.total_wakeup_wait for e in entries)
+        total_preempt = sum(e.total_preempt_wait for e in entries)
+        return LatencySummary(
+            n_tasks=len(entries),
+            runtime=sum(e.runtime for e in entries),
+            n_wakeups=n_wakeups,
+            avg_wakeup_wait=total_wakeup / n_wakeups if n_wakeups else 0.0,
+            max_wakeup_wait=max((e.max_wakeup_wait for e in entries), default=0),
+            n_preemptions=n_preempts,
+            avg_preempt_wait=total_preempt / n_preempts if n_preempts else 0.0,
+            max_preempt_wait=max((e.max_preempt_wait for e in entries), default=0),
+            total_runqueue_wait=sum(e.total_wait for e in entries),
+            max_runqueue_wait=max((e.max_wait for e in entries), default=0),
+        )
+
+    def max_delay(self, pids: Optional[Iterable[int]] = None) -> int:
+        """Worst runnable-to-running scheduling delay (µs) across the
+        selected tasks — ``perf sched latency``'s "Maximum delay".  Covers
+        all three families (wakeup, displacement, requeue)."""
+        return self.summary(pids).max_runqueue_wait
+
+    def max_wakeup_latency(self, pids: Optional[Iterable[int]] = None) -> int:
+        """Worst pure wakeup-to-run delay (µs) across the selected tasks."""
+        return self.summary(pids).max_wakeup_wait
+
+    def wakeup_histogram(
+        self, pids: Optional[Iterable[int]] = None, n_bins: int = 20
+    ) -> Histogram:
+        """Histogram of wakeup-to-run delays (µs)."""
+        wanted = None if pids is None else set(pids)
+        values = [
+            float(w) for pid, w in self.wakeup_samples if wanted is None or pid in wanted
+        ]
+        if not values:
+            values = [0.0]
+        return build_histogram(values, n_bins=n_bins, lo=0.0)
+
+    def interference_time(
+        self, victim_pids: Iterable[int]
+    ) -> Dict[int, int]:
+        """CPU time (µs) consumed by *other* tasks on each victim's home CPU
+        — the "daemon time stolen" view.  The home CPU is where the victim
+        accumulated most of its own runtime."""
+        victims = set(victim_pids)
+        stolen: Dict[int, int] = {}
+        for pid in victims:
+            home: Optional[int] = None
+            best = -1
+            for cpu, per_cpu in self.cpu_runtime.items():
+                mine = per_cpu.get(pid, 0)
+                if mine > best:
+                    best, home = mine, cpu
+            if home is None:
+                stolen[pid] = 0
+                continue
+            idle_pids = self._idle_pids()
+            stolen[pid] = sum(
+                t
+                for other, t in self.cpu_runtime.get(home, {}).items()
+                if other != pid and other not in victims and other not in idle_pids
+            )
+        return stolen
+
+    def _idle_pids(self) -> frozenset:
+        kernel = self._attached_kernel
+        if kernel is None:
+            return frozenset()
+        return frozenset(t.pid for t in kernel.tasks.values() if t.is_idle)

@@ -1,0 +1,100 @@
+"""Run provenance: one JSONL record per simulated execution.
+
+The paper reports statistics over 1000 executions; a claim like "HPL cuts
+context switches in half" is only auditable if every one of those runs is
+reconstructible.  :func:`run_record` captures the full identity of a run —
+seed, kernel-config digest, benchmark, regime — alongside its headline
+results and (optionally) the counter/latency breakdowns, as one flat JSON
+object.  The campaign runner streams these to a ``.jsonl`` file, one line
+per run; :func:`read_records` loads them back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, List, Optional
+
+__all__ = [
+    "PROVENANCE_SCHEMA_VERSION",
+    "config_digest",
+    "run_record",
+    "append_record",
+    "read_records",
+]
+
+#: Bump when a field is renamed/removed; additions are backwards-compatible.
+PROVENANCE_SCHEMA_VERSION = 1
+
+
+def config_digest(config) -> str:
+    """Stable 16-hex-char digest of a :class:`KernelConfig` (or any
+    dataclass): sha256 over its sorted-key JSON form.  Two runs with equal
+    digests used byte-identical kernel configurations."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = config
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def run_record(
+    result,
+    *,
+    bench: str,
+    regime: str,
+    run_index: int,
+    seed: int,
+    variant: str,
+    config,
+    counters: Optional[Dict] = None,
+    latency: Optional[Dict] = None,
+) -> Dict[str, object]:
+    """Build the provenance dict for one finished run.
+
+    *result* is the run's :class:`~repro.apps.mpiexec.JobResult`; *config*
+    the :class:`~repro.kernel.kernel.KernelConfig` actually booted.
+    *counters* / *latency* attach the optional observability breakdowns
+    (``perf.class_snapshot()`` output, ``LatencySummary.as_dict()``).
+    """
+    record: Dict[str, object] = {
+        "schema": PROVENANCE_SCHEMA_VERSION,
+        "bench": bench,
+        "regime": regime,
+        "run_index": run_index,
+        "seed": seed,
+        "variant": variant,
+        "config_digest": config_digest(config),
+        "nprocs": result.nprocs,
+        "mode": result.mode,
+        "app_time_s": result.app_time_s,
+        "wall_time_us": result.wall_time,
+        "context_switches": result.context_switches,
+        "cpu_migrations": result.cpu_migrations,
+        "rank_migrations": result.rank_migrations,
+        "rank_involuntary_switches": result.rank_involuntary_switches,
+    }
+    if counters is not None:
+        record["counters"] = counters
+    if latency is not None:
+        record["latency"] = latency
+    return record
+
+
+def append_record(fh, record: Dict[str, object]) -> None:
+    """Write one record to an open text stream as a JSONL line."""
+    fh.write(json.dumps(record, sort_keys=True) + "\n")
+    fh.flush()
+
+
+def read_records(path: str) -> List[Dict[str, object]]:
+    """Load every record from a provenance ``.jsonl`` file."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

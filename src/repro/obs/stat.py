@@ -1,0 +1,146 @@
+"""Text rendering of the counter fabric and latency tables.
+
+:func:`render_stat` is the ``perf stat`` analog — system-wide counters
+first (the paper's two events), then the opt-in per-class and per-task
+breakdowns.  :func:`render_latency_table` is the ``perf sched latency``
+analog — one row per task, sorted by worst wakeup-to-run delay, with a
+TOTAL rollup row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.histogram import render_ascii_histogram
+from repro.kernel.perf import PerfEvents
+from repro.obs.latency import LatencyAccounting
+
+__all__ = ["render_stat", "render_latency_table"]
+
+
+def _fmt_preempted_by(breakdown: Dict[str, int]) -> str:
+    if not breakdown:
+        return "-"
+    return ", ".join(f"{k}:{v}" for k, v in sorted(breakdown.items()))
+
+
+def render_stat(
+    perf: PerfEvents,
+    *,
+    wall_time_us: Optional[int] = None,
+    app_time_s: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """``perf stat``-style report over *perf*'s counters."""
+    lines: List[str] = []
+    if title:
+        lines.append(f" Performance counter stats for '{title}':")
+        lines.append("")
+
+    lines.append(f" {perf.context_switches:>12,}      context-switches")
+    lines.append(f" {perf.cpu_migrations:>12,}      cpu-migrations")
+    lines.append(f" {perf.balance_attempts:>12,}      balance-attempts")
+    lines.append(f" {perf.balance_pulls:>12,}      balance-pulls")
+
+    per_cpu = ", ".join(str(c) for c in perf.per_cpu_context_switches)
+    lines.append(f"   per-cpu context-switches: [{per_cpu}]")
+
+    klass = perf.class_snapshot()
+    if klass:
+        lines.append("")
+        lines.append(" per-class breakdown:")
+        header = (
+            f"   {'class':<6} {'ctxsw':>8} {'migr':>6} "
+            f"{'vol':>8} {'invol':>8}  preempted-by"
+        )
+        lines.append(header)
+        lines.append("   " + "-" * (len(header) - 3))
+        for name, c in klass.items():
+            lines.append(
+                f"   {name:<6} {c['context-switches']:>8} "
+                f"{c['cpu-migrations']:>6} {c['voluntary-switches']:>8} "
+                f"{c['involuntary-switches']:>8}  "
+                f"{_fmt_preempted_by(c['preempted-by'])}"
+            )
+
+    tasks = perf.task_snapshot()
+    if tasks:
+        lines.append("")
+        lines.append(" per-task breakdown:")
+        header = (
+            f"   {'pid':>5} {'task':<16} {'class':<5} {'in':>7} "
+            f"{'migr':>5} {'vol':>7} {'invol':>7}  preempted-by"
+        )
+        lines.append(header)
+        lines.append("   " + "-" * (len(header) - 3))
+        for pid, t in tasks.items():
+            lines.append(
+                f"   {pid:>5} {str(t['name'])[:16]:<16} {t['class']:<5} "
+                f"{t['switches-in']:>7} {t['cpu-migrations']:>5} "
+                f"{t['voluntary-switches']:>7} {t['involuntary-switches']:>7}  "
+                f"{_fmt_preempted_by(t['preempted-by'])}"
+            )
+
+    lines.append("")
+    if app_time_s is not None:
+        lines.append(f" {app_time_s:>14.6f} seconds application time")
+    if wall_time_us is not None:
+        lines.append(f" {wall_time_us / 1e6:>14.6f} seconds simulated wall time")
+    return "\n".join(lines) + "\n"
+
+
+def render_latency_table(
+    latency: LatencyAccounting,
+    *,
+    pids: Optional[Iterable[int]] = None,
+    names: Optional[Dict[int, str]] = None,
+    with_histogram: bool = False,
+    n_bins: int = 12,
+) -> str:
+    """``perf sched latency``-style per-task table."""
+    pid_list = None if pids is None else list(pids)
+    entries = latency.entries(pid_list)
+    lines: List[str] = []
+    sep = " " + "-" * 118
+    lines.append(sep)
+    lines.append(
+        f"  {'Task':<22} | {'Runtime ms':>11} | {'Waits':>6} | "
+        f"{'Avg delay ms':>12} | {'Max delay ms':>12} | {'Max wake ms':>11} | "
+        f"{'Max preempt ms':>14} | {'Max at s':>10}"
+    )
+    lines.append(sep)
+    for e in entries:
+        label = names.get(e.pid, e.name) if names else e.name
+        lines.append(
+            f"  {f'{label}:{e.pid}':<22} | {e.runtime / 1000.0:>11.3f} | "
+            f"{e.n_waits:>6} | {e.avg_wait / 1000.0:>12.3f} | "
+            f"{e.max_wait / 1000.0:>12.3f} | "
+            f"{e.max_wakeup_wait / 1000.0:>11.3f} | "
+            f"{e.max_preempt_wait / 1000.0:>14.3f} | "
+            f"{e.max_wait_at / 1e6:>10.4f}"
+        )
+    lines.append(sep)
+    total = latency.summary(pid_list)
+    lines.append(
+        f"  {'TOTAL:':<22} | {total.runtime / 1000.0:>11.3f} | "
+        f"{sum(e.n_waits for e in entries):>6} | "
+        f"{'':>12} | {total.max_runqueue_wait / 1000.0:>12.3f} | "
+        f"{total.max_wakeup_wait / 1000.0:>11.3f} | "
+        f"{total.max_preempt_wait / 1000.0:>14.3f} |"
+    )
+    lines.append(sep)
+    lines.append(
+        f"  wakeups: {total.n_wakeups}  avg wakeup wait: "
+        f"{total.avg_wakeup_wait / 1000.0:.3f} ms   preemptions: "
+        f"{total.n_preemptions}  avg displacement: "
+        f"{total.avg_preempt_wait / 1000.0:.3f} ms"
+    )
+    if with_histogram:
+        lines.append("")
+        hist = latency.wakeup_histogram(pid_list, n_bins=n_bins)
+        lines.append(
+            render_ascii_histogram(
+                hist, unit="us", title="wakeup-to-run latency (us)"
+            )
+        )
+    return "\n".join(lines) + "\n"

@@ -97,14 +97,23 @@ class SchedTrace:
         start: Optional[int] = None,
         end: Optional[int] = None,
     ) -> List[TraceEvent]:
-        """Filtered view of the buffer, in time order."""
+        """Filtered view of the buffer, in time order.
+
+        ``pid`` matches the event's subject task; for SWITCH events it also
+        matches the displaced task (``prev_pid``).  Other kinds never match
+        on ``prev_pid`` — it is a ``-1`` placeholder there, so matching it
+        would alias unrelated events (e.g. ``pid=-1`` pulling in every
+        MIGRATE).
+        """
         out = []
         for e in self._events:
             if kind is not None and e.kind != kind:
                 continue
             if cpu is not None and e.cpu != cpu:
                 continue
-            if pid is not None and e.pid != pid and e.prev_pid != pid:
+            if pid is not None and e.pid != pid and not (
+                e.kind == TraceKind.SWITCH and e.prev_pid == pid
+            ):
                 continue
             if start is not None and e.time < start:
                 continue
@@ -112,6 +121,22 @@ class SchedTrace:
                 continue
             out.append(e)
         return out
+
+    def to_dicts(self, **filters) -> List[dict]:
+        """Events as plain dicts (exporter/serialisation helper).  Keyword
+        arguments are passed through to :meth:`events`."""
+        return [
+            {
+                "time": e.time,
+                "kind": e.kind,
+                "cpu": e.cpu,
+                "pid": e.pid,
+                "prev_pid": e.prev_pid,
+                "prev_cpu": e.prev_cpu,
+                "label": e.label,
+            }
+            for e in self.events(**filters)
+        ]
 
     def count(self, kind: str) -> int:
         return sum(1 for e in self._events if e.kind == kind)
@@ -127,22 +152,27 @@ class SchedTrace:
 def attach_trace(kernel, capacity: int = 200_000) -> SchedTrace:
     """Hook a :class:`SchedTrace` into a kernel's scheduler core and perf
     fabric.  Returns the trace; detach by setting ``trace.enabled = False``.
+
+    Thin wrapper over the first-class observer hooks
+    (:attr:`SchedCore.switch_hooks`, :attr:`SchedCore.wakeup_hooks`,
+    :attr:`PerfEvents.migration_observers`) — kept as the stable one-call
+    API.  Richer observation (latency accounting, per-class counters) lives
+    in :class:`repro.obs.KernelObserver`.
     """
     trace = SchedTrace(capacity)
 
     def on_switch(time: int, cpu: int, prev, next_task) -> None:
         trace.switch(time, cpu, prev.pid if prev is not None else -1, next_task.pid)
 
-    kernel.core.switch_hooks.append(on_switch)
-    kernel.perf.enable_migration_trace()
+    def on_wakeup(time: int, cpu: int, task, is_wakeup: bool) -> None:
+        if is_wakeup:
+            trace.wakeup(time, cpu, task.pid)
 
-    # Mirror migrations into the trace lazily through a small adapter: the
-    # perf fabric already records (time, src, dst, pid) tuples.
-    original_record = kernel.perf.record_migration
-
-    def recording_migration(time: int, pid: int, src_cpu: int, dst_cpu: int) -> None:
-        original_record(time, pid, src_cpu, dst_cpu)
+    def on_migration(time: int, pid: int, src_cpu: int, dst_cpu: int) -> None:
         trace.migrate(time, pid, src_cpu, dst_cpu)
 
-    kernel.perf.record_migration = recording_migration  # type: ignore[method-assign]
+    kernel.core.switch_hooks.append(on_switch)
+    kernel.core.wakeup_hooks.append(on_wakeup)
+    kernel.perf.enable_migration_trace()
+    kernel.perf.migration_observers.append(on_migration)
     return trace

@@ -1,0 +1,95 @@
+"""CLI coverage for the observability subcommands (stat/latency/trace,
+campaign --provenance)."""
+
+import json
+
+from repro.cli import build_parser, main
+
+
+def test_parser_new_subcommands():
+    p = build_parser()
+    a = p.parse_args(["stat", "is", "A", "--regime", "hpl", "--ranks-only"])
+    assert a.command == "stat" and a.ranks_only
+    a = p.parse_args(["latency", "ep", "A", "--histogram"])
+    assert a.command == "latency" and a.histogram and not a.all_tasks
+    a = p.parse_args(["trace", "is", "A", "--format", "ftrace", "-o", "x.txt"])
+    assert a.command == "trace" and a.fmt == "ftrace" and a.output == "x.txt"
+    a = p.parse_args(["campaign", "is", "A", "-n", "2", "--provenance", "p.jsonl"])
+    assert a.provenance == "p.jsonl"
+
+
+def test_stat_command(capsys):
+    assert main(["stat", "is", "A", "--regime", "hpl", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "context-switches" in out
+    assert "per-class breakdown" in out
+    assert "hpc" in out
+    assert "balance-attempts" in out
+
+
+def test_stat_ranks_only(capsys):
+    assert main(
+        ["stat", "is", "A", "--regime", "stock", "--seed", "3", "--ranks-only"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "is.A.8.r0" in out
+    assert "swapper" not in out  # idle tasks filtered from the per-task table
+
+
+def test_latency_command(capsys):
+    assert main(["latency", "is", "A", "--regime", "stock", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "Max delay ms" in out
+    assert "TOTAL:" in out
+    for rank in range(8):
+        assert f"is.A.8.r{rank}" in out
+
+
+def test_latency_histogram(capsys):
+    assert main(
+        ["latency", "is", "A", "--regime", "hpl", "--seed", "0", "--histogram"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "wakeup-to-run latency" in out
+
+
+def test_trace_chrome_file(tmp_path, capsys):
+    out_file = tmp_path / "t.json"
+    assert main(
+        [
+            "trace", "is", "A", "--regime", "hpl", "--seed", "0",
+            "--format", "chrome", "-o", str(out_file),
+        ]
+    ) == 0
+    doc = json.load(open(out_file))
+    assert doc["traceEvents"]
+    names = {
+        e["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "X"
+    }
+    for rank in range(8):
+        assert any(f"is.A.8.r{rank}" in n for n in names), rank
+
+
+def test_trace_ftrace_stdout(capsys):
+    assert main(
+        ["trace", "is", "A", "--regime", "stock", "--seed", "1",
+         "--format", "ftrace"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "sched_switch" in out and "sched_migrate_task" in out
+
+
+def test_campaign_provenance(tmp_path, capsys):
+    path = tmp_path / "runs.jsonl"
+    assert main(
+        ["campaign", "is", "A", "--regime", "hpl", "-n", "2",
+         "--provenance", str(path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "provenance ->" in out
+    lines = [ln for ln in path.read_text().splitlines() if ln]
+    assert len(lines) == 2
+    rec = json.loads(lines[0])
+    assert rec["variant"] == "hpl" and rec["schema"] == 1
