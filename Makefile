@@ -2,13 +2,21 @@
 
 PY ?= python
 
-.PHONY: install test lint bench report figures examples clean
+.PHONY: install test test-faults lint bench report figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+# The fault-injection subsystem's own suite (hotplug, rank failures,
+# watchdogs, fault-schedule property tests).
+test-faults:
+	$(PY) -m pytest tests/test_faults_plan.py tests/test_faults_hotplug.py \
+		tests/test_faults_rank_failures.py tests/test_faults_watchdog.py \
+		tests/test_faults_zero_overhead.py tests/test_sim_stall.py \
+		tests/test_properties_faults.py
 
 # Static checks. ruff is optional (not vendored); fall back to a syntax
 # check via compileall so the target is useful on a bare toolchain.

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.kernel.kernel import Kernel
 from repro.kernel.task import SchedPolicy, Task, TaskState
 from repro.apps.spmd import Phase, PhaseKind, Program
+from repro.faults.tolerance import FaultTolerance
 
 __all__ = ["AppStats", "MpiApplication"]
 
@@ -40,6 +41,13 @@ class AppStats:
     timer_started_at: Optional[int] = None
     timer_stopped_at: Optional[int] = None
     ranks_exited: int = 0
+    #: Resilience accounting (all zero/None on a fault-free run).
+    aborted: bool = False
+    rank_crashes: int = 0
+    restarts: int = 0
+    detection_latency_us: Optional[int] = None
+    lost_work_us: int = 0
+    recovery_time_us: int = 0
 
     @property
     def app_time(self) -> Optional[int]:
@@ -56,13 +64,16 @@ class AppStats:
 
 
 class _RankState:
-    __slots__ = ("index", "task", "pos")
+    __slots__ = ("index", "task", "pos", "spawn_kwargs")
 
     def __init__(self, index: int, task: Task) -> None:
         self.index = index
         self.task = task
         #: Position in the unrolled phase list (the phase being executed).
         self.pos = 0
+        #: Scheduling template captured at first spawn so checkpoint/restart
+        #: can respawn the rank with identical policy/priority/affinity.
+        self.spawn_kwargs: Dict[str, object] = {}
 
 
 class MpiApplication:
@@ -78,6 +89,7 @@ class MpiApplication:
         rewarm_scale: float = 1.0,
         rng_label: str = "app",
         on_complete: Optional[Callable[["MpiApplication"], None]] = None,
+        fault_tolerance: Optional[FaultTolerance] = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one rank")
@@ -88,10 +100,22 @@ class MpiApplication:
         self.rewarm_scale = rewarm_scale
         self.rng_label = rng_label
         self.on_complete = on_complete
+        self.fault_tolerance = fault_tolerance
         self.stats = AppStats()
         self.ranks: List[_RankState] = []
         #: sync phase position -> set of arrived rank indices
         self._arrivals: Dict[int, Set[int]] = {}
+        #: Resilience state.  ``_epoch`` increments on every abort/restart so
+        #: events scheduled against a dead incarnation become no-ops.
+        self._epoch = 0
+        self._failed: Set[int] = set()
+        self._crash_time: Optional[int] = None
+        self._detect_armed = False
+        #: Last checkpointed collective (sync phase position); -1 = restart
+        #: from the very beginning.
+        self._checkpoint_pos = -1
+        self._checkpoint_time: Optional[int] = None
+        self._sync_count = 0
         #: Cross-node collective hook: called as fn(app, sync_pos) when all
         #: *local* ranks arrived.  Return True to take over the release (the
         #: multi-node coordinator schedules app._release itself once every
@@ -138,6 +162,7 @@ class MpiApplication:
         if first.kind != PhaseKind.COMPUTE:
             raise ValueError("programs must start with a compute phase")
         self.stats.started_at = self.kernel.now
+        self._checkpoint_time = self.kernel.now
 
     def spawn_rank(
         self,
@@ -179,6 +204,7 @@ class MpiApplication:
             **kwargs,
         )
         rank = _RankState(index, task)
+        rank.spawn_kwargs = dict(kwargs, nice=nice)
         task.user_data = rank
         if task.warmth is not None:
             if self.cold_speed is not None:
@@ -259,10 +285,15 @@ class MpiApplication:
         self.kernel.block(task)
         self.kernel.sim.after(
             wait,
-            lambda r=rank: self._advance(r),
+            lambda r=rank, e=self._epoch: self._io_done(r, e),
             priority=2,
             label=f"io:{task.name}",
         )
+
+    def _io_done(self, rank: _RankState, epoch: int) -> None:
+        if epoch != self._epoch or not rank.task.alive:
+            return  # rank crashed (or the job restarted) while it slept
+        self._advance(rank)
 
     # ------------------------------------------------------------ sync glue
 
@@ -280,7 +311,7 @@ class MpiApplication:
             if not bridged:
                 self.kernel.sim.after(
                     max(1, phase.latency),
-                    lambda pos=sync_pos: self._release(pos),
+                    lambda pos=sync_pos, e=self._epoch: self._release(pos, e),
                     priority=2,
                     label=f"sync:{self.program.name}@{sync_pos}",
                 )
@@ -295,14 +326,18 @@ class MpiApplication:
             # balancer in, which is exactly the coupling §III measures.
             self.kernel.sim.after(
                 phase.spin_threshold,
-                lambda r=rank, pos=sync_pos: self._spin_timeout(r, pos),
+                lambda r=rank, pos=sync_pos, e=self._epoch: self._spin_timeout(
+                    r, pos, e
+                ),
                 priority=4,
                 label=f"spin-to:{rank.task.name}",
             )
         else:
             self.kernel.block(rank.task)
 
-    def _spin_timeout(self, rank: _RankState, sync_pos: int) -> None:
+    def _spin_timeout(self, rank: _RankState, sync_pos: int, epoch: int) -> None:
+        if epoch != self._epoch or not rank.task.alive:
+            return  # stale incarnation
         if sync_pos not in self._arrivals or rank.pos != sync_pos:
             return  # collective already released
         task = rank.task
@@ -312,7 +347,11 @@ class MpiApplication:
         # queued — it will block on its own next time it spins (not worth
         # modelling another hop).
 
-    def _release(self, sync_pos: int) -> None:
+    def _release(self, sync_pos: int, epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch:
+            return  # scheduled against an incarnation that aborted/restarted
+        if sync_pos not in self._arrivals:
+            return
         phase = self.program.phases[sync_pos]
         now = self.kernel.now
         if phase.timer_start:
@@ -320,13 +359,135 @@ class MpiApplication:
         if phase.timer_stop:
             self.stats.timer_stopped_at = now
         del self._arrivals[sync_pos]
-        for rank in self.ranks:
+        # A rank may arrive and then be killed during the collective latency
+        # window; the release simply excludes it (the *next* collective then
+        # stalls until failure detection fires).
+        live = [r for r in self.ranks if r.task.alive]
+        for rank in live:
             if rank.pos != sync_pos:  # pragma: no cover - lockstep invariant
                 raise AssertionError(
                     f"rank {rank.index} at {rank.pos}, expected {sync_pos}"
                 )
-        for rank in self.ranks:
+        ft = self.fault_tolerance
+        if ft is not None and ft.mode == "restart":
+            self._sync_count += 1
+            if ft.checkpoint_every > 0 and self._sync_count % ft.checkpoint_every == 0:
+                self._checkpoint_pos = sync_pos
+                self._checkpoint_time = now
+        for rank in live:
             self._advance(rank)
+
+    # ----------------------------------------------------------- resilience
+
+    def crash_rank(self, index: int) -> bool:
+        """Kill rank *index* mid-run (a node/process failure).
+
+        The kernel tears the task down with no app-side cleanup — exactly
+        what a SIGKILL'd MPI process looks like to the runtime.  The other
+        ranks only notice when the next collective stalls; the launcher's
+        failure detector fires ``detection_timeout`` µs after the crash (the
+        mpirun SIGCHLD/heartbeat analog) and then either aborts the job
+        (``mode="abort"``, mpirun semantics) or rolls every rank back to the
+        last checkpoint (``mode="restart"``).
+
+        Returns ``False`` (no-op) if the rank does not exist yet, is already
+        dead, or the job already finished."""
+        if index < 0 or index >= len(self.ranks):
+            return False
+        rank = self.ranks[index]
+        if not rank.task.alive or self.done:
+            return False
+        if self.fault_tolerance is None:
+            self.fault_tolerance = FaultTolerance()
+        self.stats.rank_crashes += 1
+        if self._crash_time is None:
+            self._crash_time = self.kernel.now
+        self._failed.add(index)
+        self.kernel.kill(rank.task)
+        self._arm_detection()
+        return True
+
+    def _arm_detection(self) -> None:
+        if self._detect_armed:
+            return
+        self._detect_armed = True
+        self.kernel.sim.after(
+            max(1, self.fault_tolerance.detection_timeout),
+            lambda e=self._epoch: self._detect(e),
+            priority=3,
+            label=f"mpi-detect:{self.program.name}",
+        )
+
+    def _detect(self, epoch: int) -> None:
+        if epoch != self._epoch or self.done:
+            return
+        self._detect_armed = False
+        if not self._failed:  # pragma: no cover - armed only on a crash
+            return
+        ft = self.fault_tolerance
+        if self.stats.detection_latency_us is None and self._crash_time is not None:
+            self.stats.detection_latency_us = self.kernel.now - self._crash_time
+        if ft.mode == "abort" or self.stats.restarts >= ft.max_restarts:
+            self._abort()
+        else:
+            self._restart()
+
+    def _teardown_incarnation(self) -> None:
+        """Kill every surviving rank and invalidate in-flight events."""
+        self._epoch += 1
+        self._arrivals.clear()
+        self._failed.clear()
+        self._crash_time = None
+        self._detect_armed = False
+        for rank in self.ranks:
+            if rank.task.alive:
+                self.kernel.kill(rank.task)
+
+    def _abort(self) -> None:
+        now = self.kernel.now
+        self.stats.aborted = True
+        started = self.stats.started_at
+        self.stats.lost_work_us += now - (now if started is None else started)
+        self._teardown_incarnation()
+        self.stats.finished_at = now
+        self.stats.ranks_exited = self.nprocs
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def _restart(self) -> None:
+        now = self.kernel.now
+        ft = self.fault_tolerance
+        self.stats.restarts += 1
+        base = self._checkpoint_time
+        if base is None:  # pragma: no cover - set at begin_launch
+            base = now
+        self.stats.lost_work_us += now - base
+        self.stats.recovery_time_us += ft.restart_cost
+        self._teardown_incarnation()
+        for rank in self.ranks:
+            self._respawn(rank)
+
+    def _respawn(self, rank: _RankState) -> None:
+        """Re-fork one rank at the last checkpoint.
+
+        The new task runs a bootstrap segment of ``restart_cost`` work
+        (restoring the checkpoint image) and then resumes the phase list
+        right after the checkpointed collective."""
+        task = self.kernel.spawn(
+            f"{self.program.name}.r{rank.index}",
+            work=max(1, self.fault_tolerance.restart_cost),
+            on_segment_end=lambda: None,
+            **rank.spawn_kwargs,
+        )
+        rank.task = task
+        task.user_data = rank
+        if task.warmth is not None:
+            if self.cold_speed is not None:
+                task.warmth.cold_speed = self.cold_speed
+            task.warmth.rewarm_scale = self.rewarm_scale
+        rank.pos = self._checkpoint_pos
+        task.on_segment_end = lambda r=rank: self._advance(r)
+        self.kernel.sched_exec(task)
 
     # ------------------------------------------------------------- lifetime
 

@@ -29,6 +29,7 @@ from repro.kernel.perf import PerfReading, PerfSession
 from repro.kernel.task import SchedPolicy, Task
 from repro.apps.mpi import AppStats, MpiApplication
 from repro.apps.spmd import Program
+from repro.faults.tolerance import FaultTolerance
 
 __all__ = ["LaunchMode", "JobResult", "MpiJob"]
 
@@ -108,6 +109,7 @@ class MpiJob:
         cold_speed: Optional[float] = None,
         rewarm_scale: float = 1.0,
         on_complete: Optional[Callable[["JobResult"], None]] = None,
+        fault_tolerance: Optional["FaultTolerance"] = None,
     ) -> None:
         if mode not in LaunchMode.ALL:
             raise ValueError(f"unknown launch mode {mode!r}")
@@ -128,6 +130,7 @@ class MpiJob:
             rewarm_scale=rewarm_scale,
             rng_label=f"app.{program.name}",
             on_complete=self._app_done,
+            fault_tolerance=fault_tolerance,
         )
         self.result: Optional[JobResult] = None
         self._session: Optional[PerfSession] = None

@@ -9,20 +9,83 @@ Subcommands::
     hpl-repro trace ep A --format chrome -o t.json  # exportable event trace
     hpl-repro campaign ep A --regime stock -n 100 --provenance runs.jsonl
     hpl-repro experiment tab2 -n 50      # regenerate a paper artifact
+    hpl-repro faults ep A --regime hpl --offline-cores 1   # fault injection
     hpl-repro topology                   # show the js22 model
 
 Every command prints plain text suitable for piping into EXPERIMENTS.md.
+Bad arguments (unknown regime/experiment, non-positive run counts,
+unwritable output paths) exit with status 2 and a one-line error before any
+simulation runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis.stats import summarize
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (run counts, fault counts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: an integer >= 0 (seeds, times, counts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _unwritable(path: str) -> Optional[str]:
+    """One-line reason *path* cannot be written, or None if it can.
+
+    Checked before any simulation runs so a long campaign cannot burn
+    minutes of compute and then fail on the final ``open()``."""
+    if path == "-":
+        return None
+    if os.path.isdir(path):
+        return f"{path!r} is a directory"
+    parent = os.path.dirname(path) or "."
+    if not os.path.isdir(parent):
+        return f"directory {parent!r} does not exist"
+    if not os.access(parent, os.W_OK):
+        return f"directory {parent!r} is not writable"
+    if os.path.exists(path) and not os.access(path, os.W_OK):
+        return f"{path!r} is not writable"
+    return None
+
+
+def _unknown_bench(bench: str, klass: str) -> bool:
+    """Print a one-line diagnosis and return True if the benchmark does not
+    exist (checked up front so every subcommand exits 2 the same way)."""
+    from repro.apps.nas import nas_spec
+
+    try:
+        nas_spec(bench, klass)
+    except KeyError:
+        print(f"error: unknown benchmark {bench}.{klass} "
+              f"(see 'hpl-repro list')", file=sys.stderr)
+        return True
+    return False
+
+
+_REGIMES = ["stock", "nice", "rt", "pinned", "hpl"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,8 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("bench", help="NAS benchmark name (cg, ep, ft, is, lu, mg)")
     run.add_argument("klass", help="data-set class (A or B)")
     run.add_argument("--regime", default="stock",
-                     choices=["stock", "nice", "rt", "pinned", "hpl"])
-    run.add_argument("--seed", type=int, default=0)
+                     choices=_REGIMES)
+    run.add_argument("--seed", type=_nonneg_int, default=0)
 
     stat = sub.add_parser(
         "stat", help="run one execution and print perf-stat style counters"
@@ -51,8 +114,8 @@ def build_parser() -> argparse.ArgumentParser:
     stat.add_argument("bench")
     stat.add_argument("klass")
     stat.add_argument("--regime", default="stock",
-                      choices=["stock", "nice", "rt", "pinned", "hpl"])
-    stat.add_argument("--seed", type=int, default=0)
+                      choices=_REGIMES)
+    stat.add_argument("--seed", type=_nonneg_int, default=0)
     stat.add_argument("--ranks-only", action="store_true",
                       help="restrict the per-task table to application ranks")
 
@@ -63,8 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
     lat.add_argument("bench")
     lat.add_argument("klass")
     lat.add_argument("--regime", default="stock",
-                     choices=["stock", "nice", "rt", "pinned", "hpl"])
-    lat.add_argument("--seed", type=int, default=0)
+                     choices=_REGIMES)
+    lat.add_argument("--seed", type=_nonneg_int, default=0)
     lat.add_argument("--all-tasks", action="store_true",
                      help="include daemons and launchers, not just ranks")
     lat.add_argument("--histogram", action="store_true",
@@ -76,8 +139,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("bench")
     trace.add_argument("klass")
     trace.add_argument("--regime", default="stock",
-                       choices=["stock", "nice", "rt", "pinned", "hpl"])
-    trace.add_argument("--seed", type=int, default=0)
+                       choices=_REGIMES)
+    trace.add_argument("--seed", type=_nonneg_int, default=0)
     trace.add_argument("--format", dest="fmt", default="chrome",
                        choices=["chrome", "ftrace"])
     trace.add_argument("-o", "--output", default="-",
@@ -87,35 +150,72 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("bench")
     camp.add_argument("klass")
     camp.add_argument("--regime", default="stock",
-                      choices=["stock", "nice", "rt", "pinned", "hpl"])
-    camp.add_argument("-n", "--runs", type=int, default=50)
-    camp.add_argument("--seed", type=int, default=0)
+                      choices=_REGIMES)
+    camp.add_argument("-n", "--runs", type=_positive_int, default=50)
+    camp.add_argument("--seed", type=_nonneg_int, default=0)
     camp.add_argument("--provenance", default=None, metavar="PATH",
                       help="stream one JSONL provenance record per run to PATH")
 
+    faults = sub.add_parser(
+        "faults",
+        help="run one benchmark execution under an injected fault plan",
+    )
+    faults.add_argument("bench")
+    faults.add_argument("klass")
+    faults.add_argument("--regime", default="stock", choices=_REGIMES)
+    faults.add_argument("--seed", type=_nonneg_int, default=0)
+    faults.add_argument("--offline-cores", type=_nonneg_int, default=0,
+                        metavar="K", help="offline K whole cores mid-run")
+    faults.add_argument("--offline-at-frac", type=float, default=0.4,
+                        metavar="F",
+                        help="when the cores die, as a fraction of the "
+                             "benchmark's target time (default 0.4)")
+    faults.add_argument("--online-after", type=_positive_int, default=None,
+                        metavar="US",
+                        help="bring the cores back US microseconds later")
+    faults.add_argument("--crash-rank", type=_nonneg_int, default=None,
+                        metavar="R", help="crash rank R mid-run")
+    faults.add_argument("--ft-mode", default="abort",
+                        choices=["abort", "restart"],
+                        help="reaction to rank death (default abort)")
+    faults.add_argument("--checkpoint-every", type=_nonneg_int, default=2,
+                        metavar="N",
+                        help="checkpoint every N collectives (restart mode)")
+    faults.add_argument("--restart-cost", type=_nonneg_int, default=2_000,
+                        metavar="US")
+    faults.add_argument("--detection-timeout", type=_positive_int,
+                        default=5_000, metavar="US")
+    faults.add_argument("--random", type=_positive_int, default=None,
+                        metavar="N",
+                        help="instead of the flags above: N random faults")
+    faults.add_argument("--plan-seed", type=_nonneg_int, default=0,
+                        help="seed of the --random plan (not the workload)")
+    faults.add_argument("--watchdog", action="store_true",
+                        help="start the starvation watchdog")
+
     exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp.add_argument("exp_id", help="fig1 fig2 fig3 fig4 tab1a tab1b tab2 policy "
-                                    "resonance multinode decompose")
-    exp.add_argument("-n", "--runs", type=int, default=50)
-    exp.add_argument("--seed", type=int, default=0)
+                                    "resonance multinode decompose resilience")
+    exp.add_argument("-n", "--runs", type=_positive_int, default=50)
+    exp.add_argument("--seed", type=_nonneg_int, default=0)
 
     sweep = sub.add_parser("sweep", help="run a sensitivity sweep")
     sweep.add_argument("which", choices=["noise", "smt", "spin"])
-    sweep.add_argument("-n", "--runs", type=int, default=8)
-    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("-n", "--runs", type=_positive_int, default=8)
+    sweep.add_argument("--seed", type=_nonneg_int, default=0)
 
     report = sub.add_parser(
         "report", help="generate the full EXPERIMENTS.md paper-vs-measured report"
     )
-    report.add_argument("-n", "--runs", type=int, default=40)
-    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("-n", "--runs", type=_positive_int, default=40)
+    report.add_argument("--seed", type=_nonneg_int, default=7)
 
     export = sub.add_parser(
         "export", help="export the ep.A.8 figures as SVG + CSV into a directory"
     )
     export.add_argument("out_dir")
-    export.add_argument("-n", "--runs", type=int, default=60)
-    export.add_argument("--seed", type=int, default=7)
+    export.add_argument("-n", "--runs", type=_positive_int, default=60)
+    export.add_argument("--seed", type=_nonneg_int, default=7)
 
     return parser
 
@@ -160,6 +260,8 @@ def _cmd_topology() -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_nas
 
+    if _unknown_bench(args.bench, args.klass):
+        return 2
     result = run_nas(args.bench, args.klass, args.regime, seed=args.seed)
     print(f"{result.program_name} under {args.regime} (seed {args.seed}):")
     print(f"  execution time : {result.app_time_s:.3f} s")
@@ -224,6 +326,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_nas_observed
     from repro.obs import trace_to_chrome, trace_to_ftrace
 
+    if _unknown_bench(args.bench, args.klass):
+        return 2
+    reason = _unwritable(args.output)
+    if reason is not None:
+        print(f"error: cannot write -o {args.output}: {reason}", file=sys.stderr)
+        return 2
     run = run_nas_observed(
         args.bench, args.klass, args.regime, seed=args.seed,
         with_latency=False, with_counters=False,
@@ -257,6 +365,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_nas_campaign
 
+    if _unknown_bench(args.bench, args.klass):
+        return 2
+    if args.provenance is not None:
+        reason = _unwritable(args.provenance)
+        if reason is not None:
+            print(f"error: cannot write --provenance {args.provenance}: {reason}",
+                  file=sys.stderr)
+            return 2
     campaign = run_nas_campaign(
         args.bench, args.klass, args.regime, args.runs, base_seed=args.seed,
         provenance_path=args.provenance,
@@ -278,6 +394,98 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     if args.provenance:
         print(f"  provenance -> {args.provenance} ({campaign.n_runs} records)")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.units import msecs
+    from repro.topology.presets import power6_js22
+    from repro.apps.nas import nas_spec
+    from repro.experiments.runner import _JOB_START, run_nas_faulted
+    from repro.faults import FaultEvent, FaultKind, FaultPlan, FaultTolerance
+
+    try:
+        spec = nas_spec(args.bench, args.klass)
+    except KeyError:
+        print(f"error: unknown benchmark {args.bench}.{args.klass} "
+              f"(see 'hpl-repro list')", file=sys.stderr)
+        return 2
+    machine = power6_js22()
+    fault_at = _JOB_START + int(args.offline_at_frac * spec.target_time)
+
+    if args.random is not None:
+        plan = FaultPlan.random(
+            args.plan_seed,
+            horizon=_JOB_START + spec.target_time,
+            n_cpus=machine.n_cpus,
+            n_ranks=spec.nprocs,
+            n_faults=args.random,
+        )
+    else:
+        events = []
+        if args.offline_cores:
+            cores = []
+            for cpu in machine.cpus:
+                if cpu.core not in cores:
+                    cores.append(cpu.core)
+            if args.offline_cores >= len(cores):
+                print(f"error: cannot offline {args.offline_cores} of "
+                      f"{len(cores)} cores", file=sys.stderr)
+                return 2
+            cpus = [
+                t.cpu_id
+                for core in reversed(cores[-args.offline_cores:])
+                for t in core.threads
+            ]
+            for i, c in enumerate(cpus):
+                at = fault_at + i * 200
+                events.append(FaultEvent(at=at, kind=FaultKind.CPU_OFFLINE, cpu=c))
+                if args.online_after is not None:
+                    events.append(FaultEvent(
+                        at=at + args.online_after, kind=FaultKind.CPU_ONLINE, cpu=c,
+                    ))
+        if args.crash_rank is not None:
+            events.append(FaultEvent(
+                at=fault_at, kind=FaultKind.RANK_CRASH, rank=args.crash_rank,
+            ))
+        plan = FaultPlan.schedule(events, label="cli") if events else FaultPlan.none()
+
+    tolerance = FaultTolerance(
+        mode=args.ft_mode,
+        detection_timeout=args.detection_timeout,
+        checkpoint_every=args.checkpoint_every,
+        restart_cost=args.restart_cost,
+    )
+    run = run_nas_faulted(
+        args.bench, args.klass, args.regime, seed=args.seed,
+        fault_plan=plan, fault_tolerance=tolerance,
+        with_watchdog=args.watchdog,
+    )
+    result = run.result
+    stats = result.app_stats
+    print(f"{result.program_name} under {args.regime} (seed {args.seed}), "
+          f"fault plan {plan.label!r} ({len(plan)} events, digest {plan.digest()}):")
+    print(f"  wall time       : {result.wall_time / 1e6:.3f} s")
+    print(f"  execution time  : {result.app_time_s:.3f} s")
+    print(f"  cpu-migrations  : {result.cpu_migrations}")
+    print(f"  context-switches: {result.context_switches}")
+    print(f"  completed       : {'aborted' if stats.aborted else 'yes'}")
+    if stats.rank_crashes:
+        print(f"  rank crashes    : {stats.rank_crashes}")
+        print(f"  detection       : {stats.detection_latency_us} us")
+        print(f"  restarts        : {stats.restarts}")
+        print(f"  lost work       : {stats.lost_work_us} us")
+        print(f"  recovery time   : {stats.recovery_time_us} us")
+    print("  fault log:")
+    if not run.applied:
+        print("    (no faults fired before completion)")
+    for applied in run.applied:
+        print(f"    t={applied.time:>10} {applied.event.kind:<12} {applied.note}")
+    if args.watchdog:
+        print(f"  watchdog: {len(run.incidents)} starvation incident(s)")
+        for inc in run.incidents[:10]:
+            print(f"    t={inc.time:>10} cpu{inc.cpu} pid {inc.pid} "
+                  f"({inc.name}) waited {inc.waited_us} us")
     return 0
 
 
@@ -317,7 +525,12 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.registry import get_experiment
 
-    exp = get_experiment(args.exp_id)
+    try:
+        exp = get_experiment(args.exp_id)
+    except KeyError:
+        print(f"error: unknown experiment {args.exp_id!r} "
+              f"(see 'hpl-repro list')", file=sys.stderr)
+        return 2
     result = exp.run(args.runs, args.seed)
     print(result.render())  # type: ignore[attr-defined]
     return 0
@@ -339,6 +552,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "sweep":

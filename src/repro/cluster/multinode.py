@@ -30,6 +30,7 @@ from repro.kernel.kernel import Kernel, KernelConfig
 from repro.kernel.task import SchedPolicy
 from repro.apps.mpi import MpiApplication
 from repro.apps.spmd import Program
+from repro.faults import FaultInjector, FaultKind, FaultPlan
 
 __all__ = ["NodeHandle", "ClusterJob", "ClusterResult", "run_cluster_job"]
 
@@ -42,6 +43,8 @@ class NodeHandle:
     kernel: Kernel
     daemons: DaemonSet
     app: MpiApplication
+    #: Armed when the job carries a fault plan for this node.
+    injector: Optional[FaultInjector] = None
 
 
 @dataclass(frozen=True)
@@ -89,11 +92,25 @@ class ClusterJob:
         machine_factories: Optional[List[Callable[[], Machine]]] = None,
         noise: Optional[NoiseProfile] = None,
         internode_latency: int = 30,
+        fault_plans: Optional[Dict[int, FaultPlan]] = None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("need at least one node")
         if regime not in ("stock", "hpl", "rt"):
             raise ValueError("regime must be stock, hpl, or rt")
+        if fault_plans:
+            for node, plan in fault_plans.items():
+                if not 0 <= node < n_nodes:
+                    raise ValueError(f"fault plan for unknown node {node}")
+                for event in plan.events:
+                    if event.kind == FaultKind.RANK_CRASH:
+                        # Global collectives have no cross-node failure
+                        # detector yet; a crashed rank would hang the whole
+                        # cluster rather than degrade it.
+                        raise ValueError(
+                            "rank_crash faults are not supported in "
+                            "multi-node runs (no global failure detector)"
+                        )
         self.program = program
         self.n_nodes = n_nodes
         self.nprocs_per_node = nprocs_per_node
@@ -129,7 +146,12 @@ class ClusterJob:
             app.collective_bridge = (
                 lambda app_, pos, node=i: self._local_arrived(node, app_, pos)
             )
-            self.nodes.append(NodeHandle(i, kernel, daemons, app))
+            injector = None
+            plan = (fault_plans or {}).get(i)
+            if plan is not None and not plan.is_empty:
+                injector = FaultInjector(kernel, plan, app=app)
+                injector.arm()
+            self.nodes.append(NodeHandle(i, kernel, daemons, app, injector))
 
     # ---------------------------------------------------------- collectives
 

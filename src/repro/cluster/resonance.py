@@ -93,8 +93,8 @@ def measure_phase_delays(
     app = MpiApplication(kernel, program, nprocs, on_complete=lambda a: kernel.sim.stop())
     original_release = app._release
 
-    def tracking_release(sync_pos: int) -> None:
-        original_release(sync_pos)
+    def tracking_release(sync_pos: int, *args) -> None:
+        original_release(sync_pos, *args)
         release_times.append(kernel.sim.now)
 
     app._release = tracking_release  # type: ignore[method-assign]

@@ -61,12 +61,16 @@ class HplForkPlacer:
         hpc_count: Callable[[int], int],
         *,
         mode: str = "performance",
+        cpu_filter: Optional[Callable[[int], bool]] = None,
     ) -> None:
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}")
         self.machine = machine
         self._hpc_count = hpc_count
         self.mode = mode
+        #: Admissibility predicate beyond affinity (the kernel passes its
+        #: CPU-online test, so hotplugged-out CPUs are never chosen).
+        self.cpu_filter = cpu_filter
 
     # ------------------------------------------------------------ placement
 
@@ -81,7 +85,10 @@ class HplForkPlacer:
         enters waitpid.
         """
         candidates = [
-            cpu for cpu in self.machine.cpus if task.allows_cpu(cpu.cpu_id)
+            cpu
+            for cpu in self.machine.cpus
+            if task.allows_cpu(cpu.cpu_id)
+            and (self.cpu_filter is None or self.cpu_filter(cpu.cpu_id))
         ]
         if not candidates:
             raise ValueError(f"{task!r} has an empty effective affinity mask")

@@ -110,8 +110,8 @@ def figure1(
         # Record each collective release instant.
         original_release = app._release
 
-        def tracking_release(sync_pos: int) -> None:
-            original_release(sync_pos)
+        def tracking_release(sync_pos: int, *args) -> None:
+            original_release(sync_pos, *args)
             barrier_times.append(kernel.now)
 
         app._release = tracking_release  # type: ignore[method-assign]

@@ -134,6 +134,12 @@ class _DecompositionResult:
         return "\n".join(lines)
 
 
+def _resilience(n_runs: int, seed: int):
+    from repro.experiments.resilience import resilience_campaign
+
+    return resilience_campaign(n_runs=n_runs, base_seed=seed)
+
+
 def _decomposition(n_runs: int, seed: int):
     from repro.analysis.decomposition import decompose_nas_noise
 
@@ -191,6 +197,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "decompose": Experiment(
         "decompose", "SS III (extension)",
         "Direct vs indirect (cache) noise decomposition", _decomposition,
+    ),
+    "resilience": Experiment(
+        "resilience", "SS IV (robustness extension)",
+        "Graceful degradation: 0/1/2 cores offlined mid-run, stock vs HPL",
+        _resilience,
     ),
 }
 

@@ -22,6 +22,15 @@ from repro.kernel.kernel import Kernel, KernelConfig
 from repro.apps.mpiexec import JobResult, LaunchMode, MpiJob
 from repro.apps.nas import NasSpec, nas_program, nas_spec
 from repro.apps.spmd import Program
+from repro.faults import (
+    AppliedFault,
+    FaultInjector,
+    FaultPlan,
+    FaultTolerance,
+    StarvationIncident,
+    StarvationWatchdog,
+    WatchdogConfig,
+)
 
 __all__ = [
     "KERNEL_VARIANTS",
@@ -32,6 +41,9 @@ __all__ = [
     "ObservedRun",
     "run_program_observed",
     "run_nas_observed",
+    "FaultedRun",
+    "run_program_faulted",
+    "run_nas_faulted",
     "run_campaign",
     "run_nas_campaign",
     "CampaignResult",
@@ -92,6 +104,9 @@ def _run_job(
     rewarm_scale: float = 1.0,
     horizon: Optional[int] = None,
     instrument: Optional[Callable[[Kernel], None]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_tolerance: Optional[FaultTolerance] = None,
+    with_watchdog: bool = False,
 ) -> MpiJob:
     """One full simulated execution; returns the finished :class:`MpiJob`
     (the kernel stays reachable through ``job.kernel`` for observers).
@@ -100,6 +115,12 @@ def _run_job(
     application task exists — the attachment point for observability.
     Attaching is strictly passive, so instrumented and bare runs of the
     same seed are identical.
+
+    *fault_plan* arms a :class:`~repro.faults.FaultInjector` against the
+    booted kernel (empty plans are not armed, keeping fault-free runs
+    bit-identical); *fault_tolerance* sets the MPI runtime's reaction to
+    rank death; *with_watchdog* starts the starvation watchdog.  The armed
+    pieces stay reachable as ``job.fault_injector`` / ``job.watchdog``.
     """
     if regime not in KERNEL_VARIANTS:
         raise ValueError(
@@ -121,7 +142,18 @@ def _run_job(
         cold_speed=cold_speed,
         rewarm_scale=rewarm_scale,
         on_complete=lambda result: kernel.sim.stop(),
+        fault_tolerance=fault_tolerance,
     )
+    job.fault_injector = None
+    job.watchdog = None
+    if fault_plan is not None and not fault_plan.is_empty:
+        injector = FaultInjector(kernel, fault_plan, app=job.app)
+        injector.arm()
+        job.fault_injector = injector
+    if with_watchdog:
+        watchdog = StarvationWatchdog(kernel, WatchdogConfig())
+        watchdog.start()
+        job.watchdog = watchdog
     job.start(at=_JOB_START)
     if horizon is None:
         # Generous safety net: storms can stretch a run far past its clean
@@ -263,6 +295,88 @@ def run_nas_observed(
 
 
 @dataclass
+class FaultedRun:
+    """A finished run plus the fault layer's full account of it."""
+
+    result: JobResult
+    kernel: Kernel
+    plan: FaultPlan
+    #: Every fault firing (or skip), in injection order.
+    applied: List[AppliedFault]
+    #: Starvation episodes the watchdog flagged (empty without a watchdog).
+    incidents: List[StarvationIncident]
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(1 for a in self.applied if not a.skipped)
+
+
+def run_program_faulted(
+    program: Program,
+    nprocs: int,
+    regime: str = "stock",
+    *,
+    fault_plan: FaultPlan,
+    fault_tolerance: Optional[FaultTolerance] = None,
+    with_watchdog: bool = False,
+    **kwargs,
+) -> FaultedRun:
+    """Like :func:`run_program`, but under a :class:`FaultPlan`."""
+    job = _run_job(
+        program,
+        nprocs,
+        regime,
+        fault_plan=fault_plan,
+        fault_tolerance=fault_tolerance,
+        with_watchdog=with_watchdog,
+        **kwargs,
+    )
+    injector = job.fault_injector
+    watchdog = job.watchdog
+    return FaultedRun(
+        result=job.result,
+        kernel=job.kernel,
+        plan=fault_plan,
+        applied=list(injector.applied) if injector is not None else [],
+        incidents=list(watchdog.incidents) if watchdog is not None else [],
+    )
+
+
+def run_nas_faulted(
+    name: str,
+    klass: str,
+    regime: str = "stock",
+    *,
+    seed: int = 0,
+    fault_plan: FaultPlan,
+    fault_tolerance: Optional[FaultTolerance] = None,
+    with_watchdog: bool = False,
+    machine: Optional[Machine] = None,
+    noise: Optional[NoiseProfile] = None,
+    kernel_config: Optional[KernelConfig] = None,
+) -> FaultedRun:
+    """Faulted variant of :func:`run_nas`."""
+    if machine is None:
+        machine = power6_js22()
+    spec = nas_spec(name, klass)
+    program = nas_program(spec, machine)
+    return run_program_faulted(
+        program,
+        spec.nprocs,
+        regime,
+        seed=seed,
+        fault_plan=fault_plan,
+        fault_tolerance=fault_tolerance,
+        with_watchdog=with_watchdog,
+        machine=machine,
+        noise=noise,
+        kernel_config=kernel_config,
+        cold_speed=spec.cold_speed,
+        rewarm_scale=spec.rewarm_scale,
+    )
+
+
+@dataclass
 class CampaignResult:
     """N repetitions of one configuration."""
 
@@ -303,15 +417,27 @@ def run_campaign(
     rewarm_scale: float = 1.0,
     label: str = "",
     provenance_path: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_plan_factory: Optional[Callable[[int, int], FaultPlan]] = None,
+    fault_tolerance: Optional[FaultTolerance] = None,
 ) -> CampaignResult:
     """Run *n_runs* independent repetitions.
 
     With *provenance_path*, one JSONL record per run is streamed to that
     file as the campaign progresses (schema: :mod:`repro.obs.provenance`),
     so a partial campaign still leaves an auditable trail.
+
+    Faults: *fault_plan* applies the same plan to every repetition;
+    *fault_plan_factory* is called as ``factory(run_index, seed)`` for a
+    per-repetition plan (e.g. re-seeded random plans).  When a plan is in
+    force, each provenance record gains a ``faults`` object (plan digest +
+    recovery metrics), so faulted and fault-free campaigns remain
+    distinguishable in the audit trail forever.
     """
     if n_runs < 1:
         raise ValueError("n_runs must be >= 1")
+    if fault_plan is not None and fault_plan_factory is not None:
+        raise ValueError("pass fault_plan or fault_plan_factory, not both")
     variant = KERNEL_VARIANTS.get(regime, (regime, ""))[0]
     booted_config = resolve_kernel_config(variant, kernel_config)
     results: List[JobResult] = []
@@ -320,7 +446,10 @@ def run_campaign(
         for i in range(n_runs):
             program = program_factory()
             seed = _derive_seed(base_seed, i)
-            result = run_program(
+            plan = fault_plan
+            if fault_plan_factory is not None:
+                plan = fault_plan_factory(i, seed)
+            job = _run_job(
                 program,
                 nprocs,
                 regime,
@@ -330,11 +459,32 @@ def run_campaign(
                 kernel_config=kernel_config,
                 cold_speed=cold_speed,
                 rewarm_scale=rewarm_scale,
+                fault_plan=plan,
+                fault_tolerance=fault_tolerance,
             )
+            result = job.result
             results.append(result)
             if prov_fh is not None:
                 from repro.obs.provenance import append_record, run_record
 
+                faults = None
+                if plan is not None and not plan.is_empty:
+                    injector = job.fault_injector
+                    stats = result.app_stats
+                    faults = {
+                        "plan_label": plan.label,
+                        "plan_digest": plan.digest(),
+                        "n_events": len(plan),
+                        "injected": (
+                            injector.faults_injected() if injector else 0
+                        ),
+                        "aborted": stats.aborted,
+                        "rank_crashes": stats.rank_crashes,
+                        "restarts": stats.restarts,
+                        "detection_latency_us": stats.detection_latency_us,
+                        "lost_work_us": stats.lost_work_us,
+                        "recovery_time_us": stats.recovery_time_us,
+                    }
                 append_record(
                     prov_fh,
                     run_record(
@@ -345,6 +495,7 @@ def run_campaign(
                         seed=seed,
                         variant=variant,
                         config=booted_config,
+                        faults=faults,
                     ),
                 )
     finally:
@@ -363,6 +514,9 @@ def run_nas_campaign(
     noise: Optional[NoiseProfile] = None,
     kernel_config: Optional[KernelConfig] = None,
     provenance_path: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_plan_factory: Optional[Callable[[int, int], FaultPlan]] = None,
+    fault_tolerance: Optional[FaultTolerance] = None,
 ) -> CampaignResult:
     """The paper's unit of measurement: N runs of one NAS benchmark under
     one regime (paper: N=1000)."""
@@ -383,4 +537,7 @@ def run_nas_campaign(
         rewarm_scale=spec.rewarm_scale,
         label=spec.label,
         provenance_path=provenance_path,
+        fault_plan=fault_plan,
+        fault_plan_factory=fault_plan_factory,
+        fault_tolerance=fault_tolerance,
     )

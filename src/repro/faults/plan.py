@@ -1,0 +1,224 @@
+"""Fault plans: *what* goes wrong and *when*, decided before the run.
+
+A :class:`FaultPlan` is an immutable schedule of :class:`FaultEvent` items.
+Plans come from one of three constructors:
+
+* :meth:`FaultPlan.none` — the empty plan (a run with it is bit-identical to
+  a fault-free run; asserted by ``tests/test_faults_zero_overhead.py``);
+* :meth:`FaultPlan.schedule` — an explicit, hand-written schedule;
+* :meth:`FaultPlan.random` — a seeded draw.  The generator uses its own
+  private :class:`random.Random`, **never** the simulator's streams, so the
+  plan is a pure function of its seed and the workload's random numbers are
+  untouched (common-random-numbers discipline across fault configurations).
+
+The plan is data, not behaviour: :class:`repro.faults.injector.FaultInjector`
+turns it into simulator events.  ``as_dict``/``digest`` feed the obs
+provenance layer so a recorded run names the exact faults it suffered.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kernel.task import SchedPolicy
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan"]
+
+
+class FaultKind:
+    """The modelled fault classes."""
+
+    #: A CPU dies (hot-unplug): running + queued tasks are force-evacuated.
+    CPU_OFFLINE = "cpu_offline"
+    #: A previously offlined CPU returns.
+    CPU_ONLINE = "cpu_online"
+    #: One MPI rank crashes (SIGKILL analog).
+    RANK_CRASH = "rank_crash"
+    #: A daemon goes runaway: a long uninterrupted compute burst.
+    RUNAWAY = "runaway"
+    #: A burst of short-lived noise tasks (cron storm analog).
+    NOISE_BURST = "noise_burst"
+
+    ALL = (CPU_OFFLINE, CPU_ONLINE, RANK_CRASH, RUNAWAY, NOISE_BURST)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.  Which fields matter depends on ``kind``:
+
+    * ``cpu_offline`` / ``cpu_online`` — ``cpu``;
+    * ``rank_crash`` — ``rank``;
+    * ``runaway`` — ``duration`` (µs of compute), ``policy``,
+      ``rt_priority``;
+    * ``noise_burst`` — ``count`` workers of ``work`` µs each.
+    """
+
+    at: int
+    kind: str
+    cpu: Optional[int] = None
+    rank: Optional[int] = None
+    duration: int = 0
+    policy: str = SchedPolicy.NORMAL
+    rt_priority: int = 0
+    count: int = 0
+    work: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("fault time cannot be negative")
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in (FaultKind.CPU_OFFLINE, FaultKind.CPU_ONLINE):
+            if self.cpu is None or self.cpu < 0:
+                raise ValueError(f"{self.kind} needs a cpu")
+        elif self.kind == FaultKind.RANK_CRASH:
+            if self.rank is None or self.rank < 0:
+                raise ValueError("rank_crash needs a rank index")
+        elif self.kind == FaultKind.RUNAWAY:
+            if self.duration <= 0:
+                raise ValueError("runaway needs a positive duration")
+            if self.policy in SchedPolicy.RT and not 1 <= self.rt_priority <= 99:
+                raise ValueError("an RT runaway needs rt_priority in [1, 99]")
+        elif self.kind == FaultKind.NOISE_BURST:
+            if self.count <= 0 or self.work <= 0:
+                raise ValueError("noise_burst needs positive count and work")
+
+    def as_dict(self) -> Dict:
+        out: Dict = {"at": self.at, "kind": self.kind}
+        if self.kind in (FaultKind.CPU_OFFLINE, FaultKind.CPU_ONLINE):
+            out["cpu"] = self.cpu
+        elif self.kind == FaultKind.RANK_CRASH:
+            out["rank"] = self.rank
+        elif self.kind == FaultKind.RUNAWAY:
+            out.update(
+                duration=self.duration,
+                policy=self.policy,
+                rt_priority=self.rt_priority,
+            )
+        elif self.kind == FaultKind.NOISE_BURST:
+            out.update(count=self.count, work=self.work)
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable fault schedule for one run."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    label: str = "none"
+    #: Seed of :meth:`random` plans (None for explicit schedules).
+    seed: Optional[int] = None
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: inject nothing, perturb nothing."""
+        return cls()
+
+    @classmethod
+    def schedule(cls, events: Sequence[FaultEvent], label: str = "explicit") -> "FaultPlan":
+        """An explicit schedule (events may be given in any order)."""
+        ordered = tuple(sorted(events, key=lambda e: e.at))
+        return cls(events=ordered, label=label)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        horizon: int,
+        n_cpus: int,
+        n_ranks: int = 0,
+        n_faults: int = 3,
+        kinds: Sequence[str] = FaultKind.ALL,
+        offline_recovery: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Draw *n_faults* faults uniformly over ``[horizon//10, horizon]``.
+
+        Uses a private ``random.Random(seed)`` so the draw never touches the
+        simulator's RNG streams.  Every ``cpu_offline`` is paired with a
+        ``cpu_online`` *offline_recovery* µs later (default: a tenth of the
+        horizon) so random plans cannot grind a machine down to one CPU
+        permanently.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if n_faults < 0:
+            raise ValueError("n_faults cannot be negative")
+        for kind in kinds:
+            if kind not in FaultKind.ALL:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        usable = [
+            k for k in kinds
+            if not (k == FaultKind.RANK_CRASH and n_ranks == 0)
+            and k != FaultKind.CPU_ONLINE  # paired with offline, not drawn
+        ]
+        if not usable:
+            raise ValueError("no usable fault kinds")
+        if offline_recovery is None:
+            offline_recovery = max(1, horizon // 10)
+        rng = random.Random(seed)
+        lo = max(1, horizon // 10)
+        events: List[FaultEvent] = []
+        for _ in range(n_faults):
+            at = rng.randint(lo, horizon)
+            kind = rng.choice(usable)
+            if kind == FaultKind.CPU_OFFLINE:
+                cpu = rng.randrange(n_cpus)
+                events.append(FaultEvent(at=at, kind=kind, cpu=cpu))
+                events.append(
+                    FaultEvent(
+                        at=at + offline_recovery,
+                        kind=FaultKind.CPU_ONLINE,
+                        cpu=cpu,
+                    )
+                )
+            elif kind == FaultKind.RANK_CRASH:
+                events.append(
+                    FaultEvent(at=at, kind=kind, rank=rng.randrange(n_ranks))
+                )
+            elif kind == FaultKind.RUNAWAY:
+                events.append(
+                    FaultEvent(
+                        at=at,
+                        kind=kind,
+                        duration=rng.randint(horizon // 20 + 1, horizon // 4 + 1),
+                    )
+                )
+            else:  # NOISE_BURST
+                events.append(
+                    FaultEvent(
+                        at=at,
+                        kind=kind,
+                        count=rng.randint(2, 8),
+                        work=rng.randint(500, 5000),
+                    )
+                )
+        ordered = tuple(sorted(events, key=lambda e: e.at))
+        return cls(events=ordered, label=f"random[{seed}]", seed=seed)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def as_dict(self) -> Dict:
+        """JSON-ready description (for provenance records)."""
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "events": [e.as_dict() for e in self.events],
+        }
+
+    def digest(self) -> str:
+        """Short stable digest naming this exact plan."""
+        from repro.obs.provenance import config_digest
+
+        return config_digest(self.as_dict())

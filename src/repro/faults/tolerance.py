@@ -1,0 +1,59 @@
+"""Rank-failure tolerance policy for :class:`repro.apps.mpi.MpiApplication`.
+
+Kept dependency-free so the apps layer can import it without pulling the
+rest of the fault machinery in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["FaultTolerance"]
+
+
+@dataclass(frozen=True)
+class FaultTolerance:
+    """How an MPI job reacts to a crashed rank.
+
+    Detection models the launcher's heartbeat/SIGCHLD path: the runtime
+    declares the job failed ``detection_timeout`` µs after the crash
+    (survivors spend that window parked at the collective the dead rank
+    will never reach).
+    """
+
+    #: "abort" — mpirun semantics, the whole job is torn down;
+    #: "restart" — BLCR-style coordinated checkpoint/restart.
+    mode: str = "abort"
+    #: µs from the crash to the runtime declaring the job failed.
+    detection_timeout: int = 5_000
+    #: Take a coordinated checkpoint every K collective releases
+    #: (restart mode; 0 = only the initial state is ever saved).
+    checkpoint_every: int = 0
+    #: µs of state-reload work each rank performs on restart.
+    restart_cost: int = 2_000
+    #: Give up (abort) after this many restarts.
+    max_restarts: int = 8
+
+    MODES = ("abort", "restart")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}")
+        if self.detection_timeout < 1:
+            raise ValueError("detection_timeout must be positive")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every cannot be negative")
+        if self.restart_cost < 0:
+            raise ValueError("restart_cost cannot be negative")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts cannot be negative")
+
+    def as_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "detection_timeout": self.detection_timeout,
+            "checkpoint_every": self.checkpoint_every,
+            "restart_cost": self.restart_cost,
+            "max_restarts": self.max_restarts,
+        }

@@ -29,7 +29,7 @@ from repro.kernel.idle import IdleClass
 from repro.kernel.load_balancer import LoadBalancer, LoadBalancerConfig
 from repro.kernel.perf import PerfEvents, PerfSession
 from repro.kernel.rt import RtClass, RtParams
-from repro.kernel.sched_core import SchedCore, SchedCoreConfig
+from repro.kernel.sched_core import HotplugReport, SchedCore, SchedCoreConfig
 from repro.kernel.task import SchedPolicy, Task, TaskState
 
 __all__ = ["KernelConfig", "Kernel"]
@@ -94,10 +94,11 @@ class Kernel:
         *,
         sim: Optional[Simulator] = None,
         seed: int = 0,
+        max_sim_time: Optional[int] = None,
     ) -> None:
         self.machine = machine
         self.config = config or KernelConfig.stock()
-        self.sim = sim or Simulator(seed)
+        self.sim = sim or Simulator(seed, max_sim_time=max_sim_time)
 
         # Scheduling classes in priority order; HPL slots its class between
         # RT and CFS (§IV).
@@ -121,9 +122,20 @@ class Kernel:
             self.core, self.domains, self.sim.rng, self.config.balancer
         )
         self.hpl_placer = HplForkPlacer(
-            machine, self.core.hpc_count, mode=self.config.hpl_placement_mode
+            machine,
+            self.core.hpc_count,
+            mode=self.config.hpl_placement_mode,
+            cpu_filter=self.core.cpu_is_online,
         )
         self.core.select_cpu = self._select_cpu
+        self.core.select_evac_cpu = self._select_evac_cpu
+
+        #: Tasks parked by CPU hotplug (no online CPU admits them); re-woken
+        #: in park order as CPUs return.
+        self._park_waiters: List[Task] = []
+        self._offline_count = 0
+        #: The armed FaultInjector, when one is attached (diagnostics).
+        self.fault_injector = None
 
         self._next_pid = 1
         self.tasks: Dict[int, Task] = {}
@@ -153,18 +165,29 @@ class Kernel:
 
     def _select_cpu(self, task: Task, reason: str) -> int:
         if task.is_hpc:
+            online = self.core.cpu_online
             if reason == "fork":
                 if not self.config.hpl_topo_placement:
                     prev = task.cpu if task.cpu is not None else 0
-                    if task.allows_cpu(prev):
+                    if task.allows_cpu(prev) and online[prev]:
                         return prev
                 return self.hpl_placer.place(task, prefer=task.cpu)
-            # HPL never moves a woken HPC task: strictly its previous CPU.
+            # HPL never moves a woken HPC task: strictly its previous CPU —
+            # unless hotplug took that CPU away (the only post-fork
+            # migration HPL ever performs).
             prev = task.cpu if task.cpu is not None else 0
-            if task.allows_cpu(prev):
+            if task.allows_cpu(prev) and online[prev]:
                 return prev
             return self.hpl_placer.place(task)
         return self.balancer.select_cpu(task, reason)
+
+    def _select_evac_cpu(self, task: Task) -> Optional[int]:
+        """Destination policy for hotplug evacuation: HPC tasks go where the
+        HPL placer says (topology-balanced, §IV), everything else to the
+        idlest online admissible CPU (what the stock balancer would do)."""
+        if task.is_hpc:
+            return self.hpl_placer.place(task)
+        return self.balancer.evac_cpu(task)
 
     # ----------------------------------------------------------- public API
 
@@ -269,7 +292,16 @@ class Kernel:
             raise ValueError(f"no such CPUs: {bad}")
         task.affinity = frozenset(cpus)
         if task.cpu is not None and task.cpu not in task.affinity:
-            target = min(task.affinity)
+            online_allowed = [c for c in task.affinity if self.core.cpu_online[c]]
+            if not online_allowed:
+                # The new mask names only offline CPUs: park until one
+                # returns (the syscall would block/fail; parking keeps the
+                # model's forced-binding semantics).
+                self.core.park_task(task)
+                if task.alive and task not in self._park_waiters:
+                    self._park_waiters.append(task)
+                return
+            target = min(online_allowed)
             if task.state == TaskState.RUNNABLE:
                 self.core.migrate_queued(task, target)
             elif task.state == TaskState.RUNNING:
@@ -318,6 +350,12 @@ class Kernel:
             raise ValueError(f"block_soon on {task!r}")
 
     def wake(self, task: Task) -> None:
+        if self._offline_count and not self.core.has_online_cpu_for(task):
+            # Hotplug took every CPU this task may run on: defer the wakeup
+            # until one returns (per-CPU kthread parking).
+            if task not in self._park_waiters:
+                self._park_waiters.append(task)
+            return
         self.core.wake_up(task)
 
     def exit(self, task: Task) -> None:
@@ -325,10 +363,78 @@ class Kernel:
             raise ValueError(f"only the running task can exit, not {task!r}")
         self.core.exit_current(task.cpu)  # type: ignore[arg-type]
 
+    def kill(self, task: Task) -> None:
+        """Forcibly terminate *task* from any state (the SIGKILL analog —
+        used by fault injection for rank crashes and job aborts)."""
+        if task.state == TaskState.EXITED:
+            return
+        if task.is_idle:
+            raise ValueError("cannot kill the idle task")
+        if task.state == TaskState.RUNNING:
+            self.core.exit_current(task.cpu)  # type: ignore[arg-type]
+            return
+        if task.state == TaskState.RUNNABLE:
+            self.core.remove_queued(task)
+        task.state = TaskState.EXITED
+        task.exited_at = self.now
+        task.spinning = False
+        task.on_segment_end = None
+
     def sched_yield(self, task: Task) -> None:
         if task.state != TaskState.RUNNING:
             raise ValueError("sched_yield from a non-running task")
         self.core.yield_current(task.cpu)  # type: ignore[arg-type]
+
+    # -- CPU hotplug ---------------------------------------------------------
+
+    def offline_cpu(self, cpu: int, at: Optional[int] = None) -> Optional[HotplugReport]:
+        """Hot-unplug *cpu* now, or schedule it for simulated time *at*.
+
+        Immediate calls return the :class:`HotplugReport` of evacuated and
+        parked tasks; scheduled calls return None (the report is visible to
+        the fault injector's log instead).  Tasks that can run elsewhere are
+        force-migrated (counted as ``cpu-migrations``); per-CPU-pinned tasks
+        are parked asleep until :meth:`online_cpu`."""
+        if at is not None:
+            self.sim.at(
+                at, lambda: self.offline_cpu(cpu), priority=3,
+                label=f"hotplug:offline{cpu}",
+            )
+            return None
+        report = self.core.offline_cpu(cpu)
+        self._offline_count += 1
+        for task in report.parked:
+            if task not in self._park_waiters:
+                self._park_waiters.append(task)
+        return report
+
+    def online_cpu(self, cpu: int, at: Optional[int] = None) -> Optional[int]:
+        """Bring *cpu* back now (or at time *at*).  Re-wakes every parked
+        task the returning CPU makes placeable again; returns how many were
+        woken (None for scheduled calls)."""
+        if at is not None:
+            self.sim.at(
+                at, lambda: self.online_cpu(cpu), priority=3,
+                label=f"hotplug:online{cpu}",
+            )
+            return None
+        self.core.online_cpu(cpu)
+        self._offline_count -= 1
+        woken = 0
+        still_waiting: List[Task] = []
+        for task in self._park_waiters:
+            if not task.alive or task.state != TaskState.SLEEPING:
+                continue  # killed, or resurrected through another path
+            if self.core.has_online_cpu_for(task):
+                self.core.wake_up(task)
+                woken += 1
+            else:
+                still_waiting.append(task)
+        self._park_waiters = still_waiting
+        return woken
+
+    def online_cpus(self) -> List[int]:
+        return self.core.online_cpu_ids()
 
     # -- measurement ----------------------------------------------------------
 

@@ -170,7 +170,9 @@ class LoadBalancer:
     # ------------------------------------------------------------- periodic
 
     def _periodic_fire(self, cpu_id: int) -> None:
-        if not self._gated():
+        # An offline CPU balances nothing but keeps its timer armed, so it
+        # resumes pulling work the moment it is brought back online.
+        if self.core.cpu_online[cpu_id] and not self._gated():
             for dom in self.domains[cpu_id]:
                 self._balance_domain(cpu_id, dom)
         self._arm_timer(cpu_id)
@@ -219,6 +221,8 @@ class LoadBalancer:
         moved here."""
         if not self.config.enabled or not self.config.newidle:
             return False
+        if not self.core.cpu_online[cpu_id]:
+            return False  # a dead CPU pulls nothing
         if self._gated():
             return False
         self.stats["newidle_attempts"] += 1
@@ -311,26 +315,36 @@ class LoadBalancer:
     # ------------------------------------------------------------ placement
 
     def select_cpu(self, task: Task, reason: str) -> int:
-        """SD_BALANCE_FORK / SD_BALANCE_WAKE placement."""
+        """SD_BALANCE_FORK / SD_BALANCE_WAKE placement.  Offline CPUs are
+        never candidates (hotplug removes them from every domain mask)."""
         prev = task.cpu if task.cpu is not None else 0
+        prev_usable = task.allows_cpu(prev) and self.core.cpu_online[prev]
         if not self.config.enabled or self._gated():
-            return prev if task.allows_cpu(prev) else self._first_allowed(task)
+            return prev if prev_usable else self._first_allowed(task)
         if reason == "fork" and self.config.fork_balance:
             return self._idlest_cpu(task)
         if reason == "exec" and self.config.exec_balance:
             return self._idlest_cpu(task)
         if reason == "wake" and self.config.wake_balance:
             return self._wake_cpu(task, prev)
-        return prev if task.allows_cpu(prev) else self._first_allowed(task)
+        return prev if prev_usable else self._first_allowed(task)
 
     def _first_allowed(self, task: Task) -> int:
+        online = self.core.cpu_online
         for cpu in self.machine.cpus:
-            if task.allows_cpu(cpu.cpu_id):
+            if online[cpu.cpu_id] and task.allows_cpu(cpu.cpu_id):
                 return cpu.cpu_id
-        raise ValueError(f"{task!r} has an empty affinity mask")
+        raise ValueError(f"{task!r} has no online admissible CPU")
 
     def _idlest_cpu(self, task: Task) -> int:
-        allowed = [c.cpu_id for c in self.machine.cpus if task.allows_cpu(c.cpu_id)]
+        online = self.core.cpu_online
+        allowed = [
+            c.cpu_id
+            for c in self.machine.cpus
+            if online[c.cpu_id] and task.allows_cpu(c.cpu_id)
+        ]
+        if not allowed:
+            raise ValueError(f"{task!r} has no online admissible CPU")
         counts = [(self.core.rqs[c].nr_runnable(), c) for c in allowed]
         least = min(n for n, _ in counts)
         ties = [c for n, c in counts if n == least]
@@ -338,8 +352,23 @@ class LoadBalancer:
             return ties[0]
         return ties[self.rng.integers("lb.fork", 0, len(ties))]
 
+    def evac_cpu(self, task: Task) -> Optional[int]:
+        """Hotplug evacuation destination: the least-loaded online
+        admissible CPU.  Deterministic (lowest id wins ties) and RNG-free —
+        evacuation must not disturb the placement random streams."""
+        online = self.core.cpu_online
+        allowed = [
+            c.cpu_id
+            for c in self.machine.cpus
+            if online[c.cpu_id] and task.allows_cpu(c.cpu_id)
+        ]
+        if not allowed:
+            return None
+        return min(allowed, key=lambda c: (self.core.rqs[c].nr_runnable(), c))
+
     def _wake_cpu(self, task: Task, prev: int) -> int:
-        if task.allows_cpu(prev) and self.core.cpu_is_idle(prev):
+        online = self.core.cpu_online
+        if task.allows_cpu(prev) and online[prev] and self.core.cpu_is_idle(prev):
             return prev
         # Search outward from prev for an idle CPU: core, chip, machine.
         prev_thread = self.machine.cpu(prev)
@@ -352,10 +381,15 @@ class LoadBalancer:
             idle = [
                 c
                 for c in ring
-                if c != prev and task.allows_cpu(c) and self.core.cpu_is_idle(c)
+                if c != prev
+                and online[c]
+                and task.allows_cpu(c)
+                and self.core.cpu_is_idle(c)
             ]
             if idle:
                 if len(idle) == 1:
                     return idle[0]
                 return idle[self.rng.integers("lb.wake", 0, len(idle))]
-        return prev if task.allows_cpu(prev) else self._first_allowed(task)
+        if task.allows_cpu(prev) and online[prev]:
+            return prev
+        return self._first_allowed(task)

@@ -32,7 +32,7 @@ application runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.memsim.warmth import WarmthModel
@@ -43,7 +43,7 @@ from repro.kernel.runqueue import CpuRunqueue
 from repro.kernel.sched_class import SchedClass
 from repro.kernel.task import SchedPolicy, Task, TaskState
 
-__all__ = ["SchedCoreConfig", "SchedCore"]
+__all__ = ["SchedCoreConfig", "SchedCore", "HotplugReport"]
 
 #: Work-completion slack (µs): integer rounding across checkpoints can leave
 #: a segment this much short; treat it as done.
@@ -73,6 +73,19 @@ class SchedCoreConfig:
             raise ValueError("costs cannot be negative")
         if not 0.0 <= self.tick_overhead < 0.2:
             raise ValueError("tick_overhead must be a small fraction")
+
+
+@dataclass
+class HotplugReport:
+    """What a CPU offline operation did to the tasks it displaced."""
+
+    cpu: int
+    #: Tasks force-migrated to online CPUs (counted as cpu-migrations).
+    migrated: List[Task] = field(default_factory=list)
+    #: Tasks whose affinity admits no online CPU: forced asleep until their
+    #: CPU returns (the fate of per-CPU kthreads under real hotplug is to be
+    #: parked; same word, same semantics).
+    parked: List[Task] = field(default_factory=list)
 
 
 class SchedCore:
@@ -107,6 +120,12 @@ class SchedCore:
         )
         #: New-idle balance hook (returns True if it enqueued something).
         self.newidle_hook: Optional[Callable[[int], bool]] = None
+        #: CPU hotplug state: False = offlined, holds no runnable tasks.
+        self.cpu_online: List[bool] = [True] * machine.n_cpus
+        #: Evacuation CPU chooser installed by the kernel facade (None or a
+        #: returned offline/forbidden CPU falls back to the first online
+        #: admissible CPU).
+        self.select_evac_cpu: Optional[Callable[[Task], Optional[int]]] = None
         #: Observers called as fn(time, cpu, prev, next) on every switch.
         self.switch_hooks: List[Callable[[int, int, Task, Task], None]] = []
         #: Observers called as fn(time, cpu, task, is_wakeup) the moment a
@@ -155,6 +174,22 @@ class SchedCore:
 
     def cpu_is_idle(self, cpu_id: int) -> bool:
         return self.rqs[cpu_id].is_idle()
+
+    def cpu_is_online(self, cpu_id: int) -> bool:
+        return self.cpu_online[cpu_id]
+
+    def online_cpu_ids(self) -> List[int]:
+        return [i for i, up in enumerate(self.cpu_online) if up]
+
+    def has_online_cpu_for(self, task: Task) -> bool:
+        """Whether any online CPU is admissible for *task*."""
+        return self._first_online_allowed(task) is not None
+
+    def _first_online_allowed(self, task: Task) -> Optional[int]:
+        for cpu_id, up in enumerate(self.cpu_online):
+            if up and task.allows_cpu(cpu_id):
+                return cpu_id
+        return None
 
     # ------------------------------------------------------- accounting core
 
@@ -246,6 +281,8 @@ class SchedCore:
             return
         if not task.allows_cpu(new_cpu):
             raise ValueError(f"{task!r} affinity forbids cpu {new_cpu}")
+        if not self.cpu_online[new_cpu]:
+            raise ValueError(f"cannot place {task!r} on offline cpu {new_cpu}")
         if old is not None:
             task.nr_migrations += 1
             self.perf.record_migration(self.sim.now, task.pid, old, new_cpu, task=task)
@@ -468,6 +505,132 @@ class SchedCore:
         self._check_preempt(dst_rq, victim)
         self._dispatch(rq, prev=victim)
         return victim
+
+    def remove_queued(self, task: Task) -> None:
+        """Forcibly dequeue a runnable (not running) task — the core half of
+        ``kill`` on a queued victim."""
+        if task.state != TaskState.RUNNABLE:
+            raise ValueError(f"remove_queued needs a runnable task, not {task!r}")
+        rq = self.rq_of(task)
+        if rq.curr is task:
+            raise ValueError("use exit_current for the running task")
+        cls = rq.class_of(task)
+        cls.dequeue(rq.queues[cls.name], task)
+        self._program(rq)
+
+    # -------------------------------------------------------------- hotplug
+
+    def _evac_target(self, task: Task) -> Optional[int]:
+        """Where to push a task off a dying CPU: the facade's policy hook if
+        it names a usable CPU, else the first online admissible one, else
+        None (no online CPU admits the task — it must be parked)."""
+        first = self._first_online_allowed(task)
+        if first is None:
+            return None
+        if self.select_evac_cpu is not None:
+            target = self.select_evac_cpu(task)
+            if (
+                target is not None
+                and 0 <= target < self.machine.n_cpus
+                and self.cpu_online[target]
+                and task.allows_cpu(target)
+            ):
+                return target
+        return first
+
+    def _park(self, task: Task) -> None:
+        """Force a displaced task asleep (no online CPU admits it)."""
+        task.state = TaskState.SLEEPING
+        task.sleep_start = self.sim.now
+        task.spinning = False
+
+    def park_task(self, task: Task) -> None:
+        """Force *task* asleep from any live state.  Used when no online CPU
+        admits it (hotplug parking — what the kernel does to per-CPU
+        kthreads of a dead CPU).  A RUNNING victim is displaced by the
+        hotplug stopper (an RT kernel thread), so it is charged an RT
+        preemption like an active migration."""
+        if task.state == TaskState.SLEEPING or task.state == TaskState.NEW:
+            task.spinning = False
+            return
+        if task.state == TaskState.RUNNABLE:
+            rq = self.rq_of(task)
+            if rq.curr is task:  # pragma: no cover - state machine invariant
+                raise RuntimeError("RUNNABLE task cannot be rq.curr")
+            cls = rq.class_of(task)
+            cls.dequeue(rq.queues[cls.name], task)
+            self._park(task)
+            self._program(rq)
+            return
+        if task.state != TaskState.RUNNING:
+            raise ValueError(f"cannot park {task!r}")
+        cpu_id = task.cpu
+        assert cpu_id is not None
+        rq = self.rqs[cpu_id]
+        self.update_curr(cpu_id)
+        self._checkpoint_siblings(cpu_id)
+        task.nr_involuntary_switches += 1
+        self.perf.record_preemption(task, "rt")
+        if self.preempt_hooks:
+            for hook in self.preempt_hooks:
+                hook(self.sim.now, cpu_id, task, "rt")
+        self._snapshot_eviction(task)
+        self._park(task)
+        rq.curr = None
+        self._dispatch(rq, prev=task)
+
+    def offline_cpu(self, cpu_id: int) -> HotplugReport:
+        """Hot-unplug *cpu_id*: mark it down and evacuate every task.
+
+        Queued tasks are migrated like a balancer pull; the running task is
+        displaced by the hotplug stopper thread (an RT kernel thread, so the
+        victim is charged an RT preemption plus the migration — the same
+        accounting as :meth:`active_migrate_running`).  Tasks whose affinity
+        admits no online CPU are *parked*: forced asleep until their CPU
+        returns.  Every migration lands in the perf ``cpu-migrations``
+        counter, so recovery cost is observable."""
+        if not 0 <= cpu_id < self.machine.n_cpus:
+            raise ValueError(f"no such cpu {cpu_id}")
+        if not self.cpu_online[cpu_id]:
+            raise ValueError(f"cpu {cpu_id} is already offline")
+        if sum(self.cpu_online) == 1:
+            raise ValueError("cannot offline the last online cpu")
+        self.cpu_online[cpu_id] = False
+        report = HotplugReport(cpu=cpu_id)
+        rq = self.rqs[cpu_id]
+        # Queued tasks first: strand nothing, then deal with the runner.
+        for cls in rq.classes:
+            if cls.name == "idle":
+                continue
+            for task in list(rq.queues[cls.name].queued_tasks()):
+                target = self._evac_target(task)
+                if target is None:
+                    self.park_task(task)
+                    report.parked.append(task)
+                else:
+                    self.migrate_queued(task, target)
+                    report.migrated.append(task)
+        curr = rq.curr
+        if curr is not None and not curr.is_idle:
+            target = self._evac_target(curr)
+            if target is None:
+                # The stopper displaces it, but there is nowhere to put it —
+                # it sleeps holding its segment progress.
+                self.park_task(curr)
+                report.parked.append(curr)
+            else:
+                self.active_migrate_running(cpu_id, target)
+                report.migrated.append(curr)
+        return report
+
+    def online_cpu(self, cpu_id: int) -> None:
+        """Bring a previously offlined CPU back.  The facade re-wakes any
+        parked tasks; placement hooks see the CPU again immediately."""
+        if not 0 <= cpu_id < self.machine.n_cpus:
+            raise ValueError(f"no such cpu {cpu_id}")
+        if self.cpu_online[cpu_id]:
+            raise ValueError(f"cpu {cpu_id} is already online")
+        self.cpu_online[cpu_id] = True
 
     # ------------------------------------------------------------- segments
 

@@ -51,6 +51,7 @@ def run_record(
     config,
     counters: Optional[Dict] = None,
     latency: Optional[Dict] = None,
+    faults: Optional[Dict] = None,
 ) -> Dict[str, object]:
     """Build the provenance dict for one finished run.
 
@@ -58,6 +59,9 @@ def run_record(
     the :class:`~repro.kernel.kernel.KernelConfig` actually booted.
     *counters* / *latency* attach the optional observability breakdowns
     (``perf.class_snapshot()`` output, ``LatencySummary.as_dict()``).
+    *faults* attaches the fault-plan digest and recovery metrics of a
+    faulted run (absent entirely on fault-free runs, keeping their records
+    byte-stable across versions).
     """
     record: Dict[str, object] = {
         "schema": PROVENANCE_SCHEMA_VERSION,
@@ -80,6 +84,8 @@ def run_record(
         record["counters"] = counters
     if latency is not None:
         record["latency"] = latency
+    if faults is not None:
+        record["faults"] = faults
     return record
 
 

@@ -22,7 +22,7 @@ from typing import Any, Callable, List, Optional
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RngStreams
 
-__all__ = ["Simulator", "SimulationLimitError"]
+__all__ = ["Simulator", "SimulationLimitError", "SimStallError"]
 
 
 class SimulationLimitError(RuntimeError):
@@ -30,14 +30,37 @@ class SimulationLimitError(RuntimeError):
     such as a zero-length self-rescheduling loop)."""
 
 
-class Simulator:
-    """Event loop + clock + RNG streams for one simulated machine."""
+class SimStallError(SimulationLimitError):
+    """The simulation watchdog: raised when a run blows its event budget or
+    its ``max_sim_time`` guard.  The message embeds the head of the event
+    queue (:meth:`~repro.sim.events.EventQueue.summary`) so the offending
+    self-rescheduling loop — or the deadlock the queue is *not* making
+    progress toward — is visible without a debugger.
 
-    def __init__(self, seed: int = 0, *, max_events: int = 50_000_000) -> None:
+    Subclasses :class:`SimulationLimitError` so existing ``except`` clauses
+    keep working."""
+
+
+class Simulator:
+    """Event loop + clock + RNG streams for one simulated machine.
+
+    ``max_events`` bounds total work; ``max_sim_time`` (when set) bounds the
+    simulated clock itself — useful for fault runs where a lost wakeup shows
+    up as the clock racing to the horizon through idle housekeeping events
+    rather than as an event-count explosion."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        max_events: int = 50_000_000,
+        max_sim_time: Optional[int] = None,
+    ) -> None:
         self.now: int = 0
         self.queue = EventQueue()
         self.rng = RngStreams(seed)
         self.max_events = max_events
+        self.max_sim_time = max_sim_time
         self.events_processed = 0
         self._trace_hooks: List[Callable[[int, str], None]] = []
         self._stopped = False
@@ -102,6 +125,13 @@ class Simulator:
             if horizon is not None and next_time > horizon:
                 self.now = horizon
                 break
+            if self.max_sim_time is not None and next_time > self.max_sim_time:
+                raise SimStallError(
+                    f"simulated clock passed max_sim_time={self.max_sim_time} "
+                    f"(next event at t={next_time}, "
+                    f"{self.events_processed} events processed); "
+                    f"{queue.summary()}"
+                )
             event = queue.pop()
             assert event is not None
             if event.time < self.now:  # pragma: no cover - internal invariant
@@ -109,8 +139,11 @@ class Simulator:
             self.now = event.time
             self.events_processed += 1
             if self.events_processed > self.max_events:
-                raise SimulationLimitError(
-                    f"exceeded {self.max_events} events at t={self.now}"
+                raise SimStallError(
+                    f"exceeded {self.max_events} events at t={self.now} "
+                    f"(likely a zero-length self-rescheduling loop); "
+                    f"tripped on {event.label or '<unlabelled>'!r}; "
+                    f"{queue.summary()}"
                 )
             if hooks:
                 for hook in hooks:

@@ -111,3 +111,19 @@ class EventQueue:
         """Drop all pending events."""
         self._heap.clear()
         self._live = 0
+
+    def summary(self, limit: int = 8) -> str:
+        """One-line human summary of the queue head, for stall diagnostics.
+
+        Lists the next *limit* live events as ``label@time`` so a
+        :class:`~repro.sim.engine.SimStallError` can show *what* the
+        simulation was about to do when the guard tripped."""
+        live = [entry for entry in self._heap if not entry[3].cancelled]
+        head = heapq.nsmallest(limit, live)
+        shown = ", ".join(
+            f"{event.label or '<unlabelled>'}@{event.time}"
+            for _, _, _, event in head
+        )
+        extra = len(live) - len(head)
+        tail = f", ... +{extra} more" if extra > 0 else ""
+        return f"{len(live)} live event(s): {shown}{tail}" if head else "queue empty"

@@ -51,9 +51,10 @@ def test_experiment_command(capsys):
     assert "Figure 1" in out
 
 
-def test_experiment_unknown_id():
-    with pytest.raises(KeyError):
-        main(["experiment", "fig99"])
+def test_experiment_unknown_id(capsys):
+    assert main(["experiment", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
 
 
 def test_sweep_command(capsys):
@@ -80,3 +81,93 @@ def test_export_command(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "figure2.svg" in out
     assert (tmp_path / "figure3a.svg").exists()
+
+
+# ------------------------------------------------------ argument hardening
+
+def test_parser_rejects_negative_runs(capsys):
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(["campaign", "is", "A", "-n", "-3"])
+    assert exc.value.code == 2
+    assert "must be >= 1" in capsys.readouterr().err
+
+
+def test_parser_rejects_zero_runs():
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(["campaign", "is", "A", "-n", "0"])
+    assert exc.value.code == 2
+
+
+def test_parser_rejects_negative_seed(capsys):
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(["run", "is", "A", "--seed", "-1"])
+    assert exc.value.code == 2
+    assert "must be >= 0" in capsys.readouterr().err
+
+
+def test_campaign_unwritable_provenance(tmp_path, capsys):
+    target = tmp_path / "no" / "such" / "dir" / "prov.jsonl"
+    rc = main(["campaign", "is", "A", "-n", "2", "--provenance", str(target)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "error: cannot write --provenance" in err
+    assert err.count("\n") == 1  # a one-line diagnosis, not a traceback
+
+
+def test_trace_unwritable_output(tmp_path, capsys):
+    rc = main(["trace", "is", "A", "-o", str(tmp_path)])  # a directory
+    assert rc == 2
+    assert "error: cannot write -o" in capsys.readouterr().err
+
+
+def test_run_unknown_benchmark(capsys):
+    rc = main(["run", "zz", "A"])
+    assert rc == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------ faults command
+
+def test_faults_parser_defaults():
+    args = build_parser().parse_args(["faults", "is", "A"])
+    assert args.command == "faults"
+    assert args.offline_cores == 0
+    assert args.ft_mode == "abort"
+
+
+def test_faults_offline_cores(capsys):
+    rc = main(["faults", "is", "A", "--regime", "hpl", "--seed", "1",
+               "--offline-cores", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fault plan 'cli'" in out
+    assert "cpu_offline" in out
+    assert "completed       : yes" in out
+
+
+def test_faults_cannot_offline_every_core(capsys):
+    rc = main(["faults", "is", "A", "--offline-cores", "4"])
+    assert rc == 2
+    assert "cannot offline" in capsys.readouterr().err
+
+
+def test_faults_crash_rank_restart(capsys):
+    rc = main(["faults", "is", "A", "--crash-rank", "2",
+               "--ft-mode", "restart", "--checkpoint-every", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "rank crashes    : 1" in out
+    assert "restarts        : 1" in out
+    assert "completed       : yes" in out
+
+
+def test_faults_unknown_benchmark(capsys):
+    rc = main(["faults", "zz", "A"])
+    assert rc == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_faults_watchdog_reports(capsys):
+    rc = main(["faults", "is", "A", "--regime", "hpl", "--watchdog"])
+    assert rc == 0
+    assert "watchdog:" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""Starvation watchdog: flags daemons starved by spinning HPC ranks."""
+
+import pytest
+
+from repro.apps.mpi import MpiApplication
+from repro.apps.spmd import Program
+from repro.faults import StarvationWatchdog, WatchdogConfig
+from repro.kernel.daemons import DaemonSet, DaemonSpec, NoiseProfile
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.task import SchedPolicy
+from repro.topology.presets import power6_js22
+
+
+def _hpl_kernel(seed=0):
+    return Kernel(power6_js22(), KernelConfig.hpl(), seed=seed)
+
+
+def _chatty_profile():
+    """One per-CPU kernel thread waking every ~20 ms."""
+    return NoiseProfile(
+        daemons=(
+            DaemonSpec("kblockd", period_mean=20_000, duration_median=150,
+                       duration_sigma=0.3, per_cpu=True),
+        ),
+        storm=None,
+        label="watchdog-test",
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        WatchdogConfig(interval=0)
+    with pytest.raises(ValueError):
+        WatchdogConfig(threshold=0)
+
+
+def test_start_twice_raises_and_stop_cancels():
+    k = _hpl_kernel()
+    dog = StarvationWatchdog(k)
+    dog.start()
+    with pytest.raises(RuntimeError):
+        dog.start()
+    dog.stop()
+    k.sim.run_until(1_000_000)
+    assert dog.incidents == []  # never scanned after stop
+
+
+def test_spinning_ranks_starve_daemons_under_hpl():
+    k = _hpl_kernel(seed=2)
+    program = Program.iterative(
+        name="hog", n_iters=4, iter_work=800_000, sync_latency=50
+    )
+    app = MpiApplication(k, program, k.machine.n_cpus)
+    app.launch(policy=SchedPolicy.HPC)
+    # Per-CPU fair daemons waking often: under the HPL kernel the
+    # always-spinning HPC class keeps them off-CPU for whole phases.
+    DaemonSet(k, _chatty_profile()).start()
+    dog = StarvationWatchdog(
+        k, WatchdogConfig(interval=50_000, threshold=400_000)
+    )
+    dog.start()
+    k.sim.run_until(60_000_000)
+    assert app.done
+    assert dog.incidents, "HPL compute phases should starve fair daemons"
+    assert dog.worst_wait_us() >= 400_000
+    assert all(i.waited_us >= 400_000 for i in dog.incidents)
+    # The flagged tasks are the daemons, not the HPC ranks.
+    rank_pids = {r.task.pid for r in app.ranks}
+    assert not (set(dog.starved_pids()) & rank_pids)
+
+
+def test_quiet_system_reports_nothing():
+    k = Kernel(power6_js22(), KernelConfig.stock(), seed=0)
+    program = Program.iterative(
+        name="mini", n_iters=4, iter_work=20_000, sync_latency=50
+    )
+    app = MpiApplication(k, program, 4)
+    app.launch()
+    dog = StarvationWatchdog(
+        k, WatchdogConfig(interval=50_000, threshold=400_000)
+    )
+    dog.start()
+    k.sim.run_until(60_000_000)
+    assert app.done
+    assert dog.incidents == []
+    assert dog.worst_wait_us() is None
+
+
+def test_watchdog_is_bit_transparent():
+    def run(with_dog):
+        k = _hpl_kernel(seed=5)
+        program = Program.iterative(
+            name="hog", n_iters=3, iter_work=300_000, sync_latency=50
+        )
+        app = MpiApplication(k, program, k.machine.n_cpus)
+        app.launch(policy=SchedPolicy.HPC)
+        DaemonSet(k, _chatty_profile()).start()
+        if with_dog:
+            StarvationWatchdog(
+                k, WatchdogConfig(interval=50_000, threshold=200_000)
+            ).start()
+        k.sim.run_until(60_000_000)
+        return (app.stats.wall_time, app.stats.app_time,
+                k.perf.cpu_migrations, k.perf.context_switches)
+
+    assert run(False) == run(True)

@@ -1,0 +1,68 @@
+"""Fault machinery must cost nothing when unused.
+
+Same discipline as the obs layer (tests/test_obs_overhead.py): a run with
+an *empty* fault plan — or a fault-tolerance config that never fires — is
+bit-identical to a run with no fault machinery at all.
+"""
+
+from repro.apps.spmd import Program
+from repro.experiments.runner import (
+    run_nas,
+    run_nas_faulted,
+    run_program,
+    run_program_faulted,
+)
+from repro.faults import FaultPlan
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.topology.presets import power6_js22
+
+
+def _result_tuple(res):
+    return (
+        res.wall_time,
+        res.app_time,
+        res.cpu_migrations,
+        res.context_switches,
+        res.rank_migrations,
+        res.rank_involuntary_switches,
+    )
+
+
+def test_empty_plan_is_bit_identical_nas():
+    for regime in ("stock", "hpl"):
+        base = run_nas("is", "A", regime, seed=3)
+        faulted = run_nas_faulted("is", "A", regime, seed=3,
+                                  fault_plan=FaultPlan.none())
+        assert _result_tuple(faulted.result) == _result_tuple(base)
+        assert faulted.applied == []
+        assert faulted.faults_injected == 0
+
+
+def test_empty_plan_is_bit_identical_program():
+    program = Program.iterative(
+        name="mini", n_iters=5, iter_work=30_000, sync_latency=50
+    )
+    base = run_program(program, 4, "stock", seed=9)
+    faulted = run_program_faulted(program, 4, "stock", seed=9,
+                                  fault_plan=FaultPlan.none())
+    assert _result_tuple(faulted.result) == _result_tuple(base)
+
+
+def test_none_plan_equals_missing_plan():
+    program = Program.iterative(
+        name="mini", n_iters=5, iter_work=30_000, sync_latency=50
+    )
+    a = run_program_faulted(program, 4, "hpl", seed=2, fault_plan=None)
+    b = run_program_faulted(program, 4, "hpl", seed=2,
+                            fault_plan=FaultPlan.none())
+    assert _result_tuple(a.result) == _result_tuple(b.result)
+    assert a.plan is None and b.plan.is_empty
+
+
+def test_kernel_without_faults_has_no_hotplug_state_cost():
+    """The wake() fast path is gated on a plain int — no fault objects are
+    created or consulted when nothing was ever offlined."""
+    k = Kernel(power6_js22(), KernelConfig.stock(), seed=0)
+    assert k._offline_count == 0
+    assert all(k.core.cpu_online)
+    assert k._park_waiters == []

@@ -1,0 +1,68 @@
+"""Sim-engine watchdog: SimStallError on runaway event counts or clocks."""
+
+import pytest
+
+from repro.sim.engine import SimStallError, SimulationLimitError, Simulator
+from repro.sim.events import EventQueue
+
+
+def _self_rescheduling(sim, label="tick"):
+    def tick():
+        sim.after(10, tick, label=label)
+    sim.after(10, tick, label=label)
+
+
+def test_event_budget_trips_with_label():
+    sim = Simulator(seed=0, max_events=50)
+    _self_rescheduling(sim, label="spinner")
+    _self_rescheduling(sim, label="other")  # keeps the queue non-empty
+    with pytest.raises(SimStallError) as exc:
+        sim.run_until(10_000_000)
+    msg = str(exc.value)
+    assert "exceeded 50 events" in msg
+    assert "'spinner'" in msg or "'other'" in msg
+    assert "live event(s)" in msg
+
+
+def test_max_sim_time_trips_before_processing():
+    sim = Simulator(seed=0, max_sim_time=1_000)
+    _self_rescheduling(sim)
+    with pytest.raises(SimStallError) as exc:
+        sim.run_until(10_000_000)
+    assert sim.now <= 1_000  # never advanced past the guard
+    assert "max_sim_time" in str(exc.value)
+
+
+def test_guards_are_inert_for_finishing_runs():
+    sim = Simulator(seed=0, max_events=1_000, max_sim_time=100_000)
+    hits = []
+    sim.after(50, lambda: hits.append(1))
+    sim.after(60, lambda: hits.append(2))
+    sim.run_until(10_000)
+    assert hits == [1, 2]
+
+
+def test_stall_error_is_a_limit_error():
+    # Existing callers catching SimulationLimitError keep working.
+    assert issubclass(SimStallError, SimulationLimitError)
+
+
+def test_queue_summary_lists_live_events():
+    q = EventQueue()
+    assert q.summary() == "queue empty"
+    for i in range(12):
+        q.schedule(100 + i, lambda: None, label=f"ev{i}")
+    s = q.summary(limit=3)
+    assert s.startswith("12 live event(s): ")
+    assert "ev0@100" in s and "ev2@102" in s
+    assert "+9 more" in s
+
+
+def test_queue_summary_skips_cancelled():
+    q = EventQueue()
+    keep = q.schedule(10, lambda: None, label="keep")
+    drop = q.schedule(5, lambda: None, label="drop")
+    drop.cancel()
+    s = q.summary()
+    assert s.startswith("1 live event(s)")
+    assert "keep@10" in s and "drop" not in s
