@@ -44,6 +44,8 @@ figures:
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PY) $$ex || exit 1; done
 
+# -prune stops find descending into directories it is about to delete,
+# which otherwise spews "No such file or directory" noise.
 clean:
-	rm -rf benchmarks/out .pytest_cache .benchmarks
-	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf benchmarks/out .pytest_cache .benchmarks .repro-cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -23,12 +23,14 @@ Quickstart::
     print(hpl.app_time_s, hpl.cpu_migrations, hpl.context_switches)
 """
 
+# Defined before the submodule imports: repro.parallel reads it back during
+# package initialization (it is part of the campaign-cache key).
+__version__ = "1.0.0"
+
 from repro.topology import power6_js22, Machine
 from repro.kernel import Kernel, KernelConfig, Task, SchedPolicy
 from repro.apps import LaunchMode, MpiJob, nas_spec, nas_program
 from repro.experiments.runner import run_nas, run_campaign, CampaignResult
-
-__version__ = "1.0.0"
 
 __all__ = [
     "power6_js22",

@@ -8,9 +8,18 @@ Subcommands::
     hpl-repro latency ep A --regime hpl  # perf-sched-latency style table
     hpl-repro trace ep A --format chrome -o t.json  # exportable event trace
     hpl-repro campaign ep A --regime stock -n 100 --provenance runs.jsonl
+    hpl-repro campaign ep A -n 100 --jobs 4         # fan across 4 workers
     hpl-repro experiment tab2 -n 50      # regenerate a paper artifact
     hpl-repro faults ep A --regime hpl --offline-cores 1   # fault injection
+    hpl-repro cache info                 # campaign result-cache status
     hpl-repro topology                   # show the js22 model
+
+Campaign-running subcommands (campaign, faults, experiment, sweep, report,
+export) take ``--jobs N`` (default: all CPUs; 1 = the in-process serial
+loop) and ``--no-cache``; outputs are byte-identical whatever ``--jobs``
+is.  The result cache lives in ``.repro-cache/`` (override with
+``--cache-dir`` or ``$REPRO_CACHE_DIR``) and is managed by ``cache
+info``/``cache clear``.
 
 Every command prints plain text suitable for piping into EXPERIMENTS.md.
 Bad arguments (unknown regime/experiment, non-positive run counts,
@@ -88,6 +97,19 @@ def _unknown_bench(bench: str, klass: str) -> bool:
 _REGIMES = ["stock", "nice", "rt", "pinned", "hpl"]
 
 
+def _add_exec_flags(p: argparse.ArgumentParser, *, cache_dir: bool = False) -> None:
+    """--jobs/--no-cache, shared by every campaign-running subcommand."""
+    p.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
+                   help="worker processes for campaign repetitions "
+                        "(default: all CPUs; 1 = in-process serial loop)")
+    p.add_argument("--no-cache", dest="use_cache", action="store_false",
+                   help="always simulate; skip the campaign result cache")
+    if cache_dir:
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-cache directory (default: .repro-cache "
+                            "or $REPRO_CACHE_DIR)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hpl-repro",
@@ -155,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--seed", type=_nonneg_int, default=0)
     camp.add_argument("--provenance", default=None, metavar="PATH",
                       help="stream one JSONL provenance record per run to PATH")
+    _add_exec_flags(camp, cache_dir=True)
 
     faults = sub.add_parser(
         "faults",
@@ -192,23 +215,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seed of the --random plan (not the workload)")
     faults.add_argument("--watchdog", action="store_true",
                         help="start the starvation watchdog")
+    faults.add_argument("-n", "--runs", type=_positive_int, default=1,
+                        help="repetitions; >1 runs a faulted campaign and "
+                             "summarizes instead of printing the fault log")
+    _add_exec_flags(faults)
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp.add_argument("exp_id", help="fig1 fig2 fig3 fig4 tab1a tab1b tab2 policy "
                                     "resonance multinode decompose resilience")
     exp.add_argument("-n", "--runs", type=_positive_int, default=50)
     exp.add_argument("--seed", type=_nonneg_int, default=0)
+    _add_exec_flags(exp)
 
     sweep = sub.add_parser("sweep", help="run a sensitivity sweep")
     sweep.add_argument("which", choices=["noise", "smt", "spin"])
     sweep.add_argument("-n", "--runs", type=_positive_int, default=8)
     sweep.add_argument("--seed", type=_nonneg_int, default=0)
+    _add_exec_flags(sweep)
 
     report = sub.add_parser(
         "report", help="generate the full EXPERIMENTS.md paper-vs-measured report"
     )
     report.add_argument("-n", "--runs", type=_positive_int, default=40)
     report.add_argument("--seed", type=_nonneg_int, default=7)
+    _add_exec_flags(report)
 
     export = sub.add_parser(
         "export", help="export the ep.A.8 figures as SVG + CSV into a directory"
@@ -216,6 +246,15 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("out_dir")
     export.add_argument("-n", "--runs", type=_positive_int, default=60)
     export.add_argument("--seed", type=_nonneg_int, default=7)
+    _add_exec_flags(export)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the campaign result cache"
+    )
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-cache directory (default: .repro-cache "
+                            "or $REPRO_CACHE_DIR)")
 
     return parser
 
@@ -376,6 +415,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     campaign = run_nas_campaign(
         args.bench, args.klass, args.regime, args.runs, base_seed=args.seed,
         provenance_path=args.provenance,
+        n_jobs=args.jobs, use_cache=args.use_cache, cache_dir=args.cache_dir,
     )
     times = summarize(campaign.app_times_s())
     migs = summarize([float(v) for v in campaign.migrations()])
@@ -391,6 +431,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(
         f"  ctxsw min {switches.minimum:.0f}  avg {switches.mean:.2f}  "
         f"max {switches.maximum:.0f}"
+    )
+    print(
+        f"  exec  {campaign.jobs} worker(s), "
+        f"{campaign.cache_hits}/{campaign.n_runs} runs from cache"
     )
     if args.provenance:
         print(f"  provenance -> {args.provenance} ({campaign.n_runs} records)")
@@ -456,6 +500,37 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         restart_cost=args.restart_cost,
     )
+    if args.runs > 1:
+        from repro.experiments.runner import run_nas_campaign
+
+        if args.watchdog:
+            print("note: --watchdog applies to single runs only; "
+                  "ignored with -n > 1", file=sys.stderr)
+        campaign = run_nas_campaign(
+            args.bench, args.klass, args.regime, args.runs, base_seed=args.seed,
+            fault_plan=plan, fault_tolerance=tolerance,
+            n_jobs=args.jobs, use_cache=args.use_cache,
+        )
+        times = summarize(campaign.app_times_s())
+        walls = [r.wall_time / 1e6 for r in campaign.results]
+        stats = [r.app_stats for r in campaign.results if r.app_stats is not None]
+        aborted = sum(1 for s in stats if s.aborted)
+        crashes = sum(s.rank_crashes for s in stats)
+        restarts = sum(s.restarts for s in stats)
+        print(f"{campaign.label} under {args.regime}, {args.runs} runs, "
+              f"fault plan {plan.label!r} "
+              f"({len(plan)} events, digest {plan.digest()}):")
+        print(f"  time  min {times.minimum:.2f}  avg {times.mean:.2f}  "
+              f"max {times.maximum:.2f}  var {times.variation:.2f}%")
+        print(f"  wall  min {min(walls):.2f}  avg {sum(walls) / len(walls):.2f}  "
+              f"max {max(walls):.2f}")
+        line = f"  completed {args.runs - aborted}/{args.runs}"
+        if crashes:
+            line += f"  rank crashes {crashes}  restarts {restarts}"
+        print(line)
+        print(f"  exec  {campaign.jobs} worker(s), "
+              f"{campaign.cache_hits}/{campaign.n_runs} runs from cache")
+        return 0
     run = run_nas_faulted(
         args.bench, args.klass, args.regime, seed=args.seed,
         fault_plan=plan, fault_tolerance=tolerance,
@@ -501,7 +576,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "smt": smt_factor_sweep,
         "spin": spin_threshold_sweep,
     }[args.which]
-    result = runner(n_runs=args.runs, base_seed=args.seed)
+    result = runner(
+        n_runs=args.runs, base_seed=args.seed,
+        n_jobs=args.jobs, use_cache=args.use_cache,
+    )
     print(result.render())
     return 0
 
@@ -509,14 +587,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
-    print(generate_report(args.runs, args.seed))
+    print(generate_report(
+        args.runs, args.seed, n_jobs=args.jobs, use_cache=args.use_cache
+    ))
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments.export import export_figures
 
-    written = export_figures(args.out_dir, n_runs=args.runs, seed=args.seed)
+    written = export_figures(
+        args.out_dir, n_runs=args.runs, seed=args.seed,
+        n_jobs=args.jobs, use_cache=args.use_cache,
+    )
     for path in written:
         print(f"wrote {path}")
     return 0
@@ -531,8 +614,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"error: unknown experiment {args.exp_id!r} "
               f"(see 'hpl-repro list')", file=sys.stderr)
         return 2
-    result = exp.run(args.runs, args.seed)
+    result = exp.run(args.runs, args.seed, n_jobs=args.jobs, use_cache=args.use_cache)
     print(result.render())  # type: ignore[attr-defined]
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.parallel.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        print(cache.info().render())
+        return 0
+    info = cache.info()
+    cache.clear()
+    print(f"cleared {info.entries} cached result(s) from {cache.root}")
     return 0
 
 
@@ -562,6 +658,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "export":
         return _cmd_export(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError("unreachable")
 
 

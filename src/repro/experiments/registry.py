@@ -7,7 +7,7 @@ benchmark harness can enumerate them uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
 
@@ -19,56 +19,64 @@ class Experiment:
     exp_id: str
     paper_artifact: str
     description: str
-    #: fn(n_runs, seed) -> object with a .render() method
-    run: Callable[[int, int], object]
+    #: fn(n_runs, seed, *, n_jobs=1, use_cache=False) -> object with a
+    #: .render() method.  Every regenerator accepts the execution keywords;
+    #: the ones whose artifact is a single run simply ignore them.
+    run: Callable[..., object]
 
 
-def _fig1(n_runs: int, seed: int):
+def _fig1(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.experiments.figures import figure1
 
     return figure1(seed=seed)
 
 
-def _fig2(n_runs: int, seed: int):
+def _fig2(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.experiments.figures import figure2
 
-    return figure2(n_runs, seed=seed)
+    return figure2(n_runs, seed=seed, n_jobs=n_jobs, use_cache=use_cache)
 
 
-def _fig3(n_runs: int, seed: int):
+def _fig3(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.experiments.figures import figure3
 
-    return figure3(n_runs, seed=seed)
+    return figure3(n_runs, seed=seed, n_jobs=n_jobs, use_cache=use_cache)
 
 
-def _fig4(n_runs: int, seed: int):
+def _fig4(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.experiments.figures import figure4
 
-    return figure4(n_runs, seed=seed)
+    return figure4(n_runs, seed=seed, n_jobs=n_jobs, use_cache=use_cache)
 
 
-def _tab1a(n_runs: int, seed: int):
+def _tab1a(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.experiments.tables import table1
 
-    return table1("stock", n_runs=n_runs, base_seed=seed)
+    return table1(
+        "stock", n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache
+    )
 
 
-def _tab1b(n_runs: int, seed: int):
+def _tab1b(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.experiments.tables import table1
 
-    return table1("hpl", n_runs=n_runs, base_seed=seed)
+    return table1(
+        "hpl", n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache
+    )
 
 
-def _tab2(n_runs: int, seed: int):
+def _tab2(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.experiments.tables import table2
 
-    return table2(n_runs=n_runs, base_seed=seed)
+    return table2(n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache)
 
 
-def _policy(n_runs: int, seed: int):
+def _policy(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.experiments.tables import policy_comparison
 
-    return policy_comparison("ep", "A", n_runs=n_runs, base_seed=seed)
+    return policy_comparison(
+        "ep", "A", n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache
+    )
 
 
 class _ResonanceResult:
@@ -88,7 +96,7 @@ class _ResonanceResult:
         return "\n".join(lines)
 
 
-def _resonance(n_runs: int, seed: int):
+def _resonance(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.cluster.resonance import spare_core_comparison
 
     curves = spare_core_comparison([1, 8, 64, 512, 4096], seed=seed)
@@ -107,7 +115,7 @@ class _MultinodeResult:
         return "\n".join(lines)
 
 
-def _multinode(n_runs: int, seed: int):
+def _multinode(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.apps.spmd import Program
     from repro.cluster.multinode import run_cluster_job
     from repro.units import msecs
@@ -134,13 +142,15 @@ class _DecompositionResult:
         return "\n".join(lines)
 
 
-def _resilience(n_runs: int, seed: int):
+def _resilience(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.experiments.resilience import resilience_campaign
 
-    return resilience_campaign(n_runs=n_runs, base_seed=seed)
+    return resilience_campaign(
+        n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache
+    )
 
 
-def _decomposition(n_runs: int, seed: int):
+def _decomposition(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
     from repro.analysis.decomposition import decompose_nas_noise
 
     rows = []

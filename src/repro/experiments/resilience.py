@@ -128,8 +128,13 @@ def resilience_campaign(
     n_iters: int = 10,
     iter_work: int = msecs(20),
     nprocs: Optional[int] = None,
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
 ) -> ResilienceResult:
-    """Run the 0/1/2-cores-offline comparison on the js22 preset."""
+    """Run the 0/1/2-cores-offline comparison on the js22 preset.
+
+    *n_jobs*/*use_cache* fan each cell's repetitions across workers and
+    consult the campaign result cache (see :mod:`repro.parallel`)."""
     machine = power6_js22()
     if nprocs is None:
         nprocs = machine.n_cpus
@@ -146,7 +151,8 @@ def resilience_campaign(
     rows: List[ResilienceRow] = []
     for regime in ("stock", "hpl"):
         baseline = run_campaign(
-            factory, nprocs, regime, n_runs, base_seed=base_seed
+            factory, nprocs, regime, n_runs, base_seed=base_seed,
+            n_jobs=n_jobs, use_cache=use_cache,
         )
         base_row = _row(regime, 0, [], baseline)
         rows.append(base_row)
@@ -168,6 +174,7 @@ def resilience_campaign(
             campaign = run_campaign(
                 factory, nprocs, regime, n_runs,
                 base_seed=base_seed, fault_plan=plan,
+                n_jobs=n_jobs, use_cache=use_cache,
             )
             row = _row(regime, k, cpus, campaign)
             row._slowdown = row.mean_s / base_row.mean_s

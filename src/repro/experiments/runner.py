@@ -44,6 +44,7 @@ __all__ = [
     "FaultedRun",
     "run_program_faulted",
     "run_nas_faulted",
+    "build_campaign_specs",
     "run_campaign",
     "run_nas_campaign",
     "CampaignResult",
@@ -383,6 +384,10 @@ class CampaignResult:
     label: str
     regime: str
     results: List[JobResult]
+    #: Worker processes the campaign executed on (1 = in-process serial).
+    jobs: int = 1
+    #: Repetitions answered from the result cache instead of simulated.
+    cache_hits: int = 0
 
     @property
     def n_runs(self) -> int:
@@ -400,7 +405,107 @@ class CampaignResult:
 
 def _derive_seed(base_seed: int, run_index: int) -> int:
     # Any injective-enough mixing works; keep it explicit and stable.
+    # Pure integer arithmetic — never hash() — so derived seeds are equal
+    # across Python versions, platforms and processes (the parallel engine's
+    # correctness rests on this; see tests/test_derive_seed.py).
     return (base_seed * 1_000_003 + run_index * 7_919 + 17) & 0x7FFFFFFF
+
+
+def _execute_spec(spec: "RunSpec") -> Tuple[JobResult, Optional[Dict]]:
+    """Execute one campaign repetition described by a picklable spec.
+
+    This is the parallel engine's worker: module-level (crosses the process
+    boundary by reference) and a pure function of the spec's content, so a
+    worker-pool run is bit-identical to the serial loop.  Returns the
+    :class:`JobResult` plus the provenance ``faults`` object (None on
+    fault-free runs) — the injector itself cannot cross back, so its
+    account is flattened here.
+    """
+    job = _run_job(
+        spec.program,
+        spec.nprocs,
+        spec.regime,
+        seed=spec.seed,
+        machine=spec.machine,
+        noise=spec.noise,
+        kernel_config=spec.kernel_config,
+        cold_speed=spec.cold_speed,
+        rewarm_scale=spec.rewarm_scale,
+        fault_plan=spec.fault_plan,
+        fault_tolerance=spec.fault_tolerance,
+    )
+    result = job.result
+    faults: Optional[Dict] = None
+    plan = spec.fault_plan
+    if plan is not None and not plan.is_empty:
+        injector = job.fault_injector
+        stats = result.app_stats
+        faults = {
+            "plan_label": plan.label,
+            "plan_digest": plan.digest(),
+            "n_events": len(plan),
+            "injected": injector.faults_injected() if injector else 0,
+            "aborted": stats.aborted,
+            "rank_crashes": stats.rank_crashes,
+            "restarts": stats.restarts,
+            "detection_latency_us": stats.detection_latency_us,
+            "lost_work_us": stats.lost_work_us,
+            "recovery_time_us": stats.recovery_time_us,
+        }
+    return result, faults
+
+
+def build_campaign_specs(
+    program_factory: Callable[[], Program],
+    nprocs: int,
+    regime: str,
+    n_runs: int,
+    *,
+    base_seed: int = 0,
+    machine_factory: Callable[[], Machine] = power6_js22,
+    noise: Optional[NoiseProfile] = None,
+    kernel_config: Optional[KernelConfig] = None,
+    cold_speed: Optional[float] = None,
+    rewarm_scale: float = 1.0,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_plan_factory: Optional[Callable[[int, int], FaultPlan]] = None,
+    fault_tolerance: Optional[FaultTolerance] = None,
+) -> List["RunSpec"]:
+    """Materialize a campaign's repetitions as picklable specs.
+
+    Factories run here, in the parent, in run-index order — exactly where
+    and when the serial loop called them — so closures never need to
+    pickle and factory side effects (none are expected) keep their order.
+    """
+    from repro.parallel.jobspec import RunSpec
+
+    if regime not in KERNEL_VARIANTS:
+        raise ValueError(
+            f"unknown regime {regime!r}; choose from {sorted(KERNEL_VARIANTS)}"
+        )
+    specs: List[RunSpec] = []
+    for i in range(n_runs):
+        seed = _derive_seed(base_seed, i)
+        plan = fault_plan
+        if fault_plan_factory is not None:
+            plan = fault_plan_factory(i, seed)
+        specs.append(
+            RunSpec(
+                run_index=i,
+                seed=seed,
+                program=program_factory(),
+                nprocs=nprocs,
+                regime=regime,
+                machine=machine_factory(),
+                noise=noise,
+                kernel_config=kernel_config,
+                cold_speed=cold_speed,
+                rewarm_scale=rewarm_scale,
+                fault_plan=plan,
+                fault_tolerance=fault_tolerance,
+            )
+        )
+    return specs
 
 
 def run_campaign(
@@ -420,12 +525,18 @@ def run_campaign(
     fault_plan: Optional[FaultPlan] = None,
     fault_plan_factory: Optional[Callable[[int, int], FaultPlan]] = None,
     fault_tolerance: Optional[FaultTolerance] = None,
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> CampaignResult:
     """Run *n_runs* independent repetitions.
 
     With *provenance_path*, one JSONL record per run is streamed to that
     file as the campaign progresses (schema: :mod:`repro.obs.provenance`),
-    so a partial campaign still leaves an auditable trail.
+    so a partial campaign still leaves an auditable trail; a
+    ``<path>.meta.json`` sidecar records the execution metadata (worker
+    count, cache hits) without perturbing the per-run records.
 
     Faults: *fault_plan* applies the same plan to every repetition;
     *fault_plan_factory* is called as ``factory(run_index, seed)`` for a
@@ -433,75 +544,104 @@ def run_campaign(
     force, each provenance record gains a ``faults`` object (plan digest +
     recovery metrics), so faulted and fault-free campaigns remain
     distinguishable in the audit trail forever.
+
+    Parallelism: *n_jobs* fans the repetitions across a process pool
+    (``None`` = ``os.cpu_count()``; ``1`` = the in-process serial loop).
+    Results and provenance are merged in run-index order, so every output
+    is byte-identical whatever *n_jobs* is.  *use_cache* consults the
+    content-addressed result cache (:mod:`repro.parallel.cache`) so
+    unchanged repetitions skip simulation; *progress* is called with
+    ``(completed, total)`` after every repetition.
     """
+    import time as _time
+
+    from repro.obs.provenance import append_record, campaign_record, run_record
+    from repro.parallel.cache import ResultCache
+    from repro.parallel.engine import execute_campaign, resolve_jobs
+
     if n_runs < 1:
         raise ValueError("n_runs must be >= 1")
     if fault_plan is not None and fault_plan_factory is not None:
         raise ValueError("pass fault_plan or fault_plan_factory, not both")
     variant = KERNEL_VARIANTS.get(regime, (regime, ""))[0]
     booted_config = resolve_kernel_config(variant, kernel_config)
-    results: List[JobResult] = []
-    prov_fh = open(provenance_path, "w", encoding="utf-8") if provenance_path else None
-    try:
-        for i in range(n_runs):
-            program = program_factory()
-            seed = _derive_seed(base_seed, i)
-            plan = fault_plan
-            if fault_plan_factory is not None:
-                plan = fault_plan_factory(i, seed)
-            job = _run_job(
-                program,
-                nprocs,
-                regime,
-                seed=seed,
-                machine=machine_factory(),
-                noise=noise,
-                kernel_config=kernel_config,
-                cold_speed=cold_speed,
-                rewarm_scale=rewarm_scale,
-                fault_plan=plan,
-                fault_tolerance=fault_tolerance,
-            )
-            result = job.result
-            results.append(result)
-            if prov_fh is not None:
-                from repro.obs.provenance import append_record, run_record
+    specs = build_campaign_specs(
+        program_factory,
+        nprocs,
+        regime,
+        n_runs,
+        base_seed=base_seed,
+        machine_factory=machine_factory,
+        noise=noise,
+        kernel_config=kernel_config,
+        cold_speed=cold_speed,
+        rewarm_scale=rewarm_scale,
+        fault_plan=fault_plan,
+        fault_plan_factory=fault_plan_factory,
+        fault_tolerance=fault_tolerance,
+    )
+    jobs = resolve_jobs(n_jobs)
+    cache = ResultCache(cache_dir) if use_cache else None
+    started_at = _time.time()
 
-                faults = None
-                if plan is not None and not plan.is_empty:
-                    injector = job.fault_injector
-                    stats = result.app_stats
-                    faults = {
-                        "plan_label": plan.label,
-                        "plan_digest": plan.digest(),
-                        "n_events": len(plan),
-                        "injected": (
-                            injector.faults_injected() if injector else 0
-                        ),
-                        "aborted": stats.aborted,
-                        "rank_crashes": stats.rank_crashes,
-                        "restarts": stats.restarts,
-                        "detection_latency_us": stats.detection_latency_us,
-                        "lost_work_us": stats.lost_work_us,
-                        "recovery_time_us": stats.recovery_time_us,
-                    }
-                append_record(
-                    prov_fh,
-                    run_record(
-                        result,
-                        bench=label or result.program_name,
-                        regime=regime,
-                        run_index=i,
-                        seed=seed,
-                        variant=variant,
-                        config=booted_config,
-                        faults=faults,
-                    ),
-                )
+    prov_fh = open(provenance_path, "w", encoding="utf-8") if provenance_path else None
+
+    def on_record(record) -> None:
+        if prov_fh is None:
+            return
+        append_record(
+            prov_fh,
+            run_record(
+                record.result,
+                bench=label or record.result.program_name,
+                regime=regime,
+                run_index=record.run_index,
+                seed=record.seed,
+                variant=variant,
+                config=booted_config,
+                faults=record.faults,
+            ),
+        )
+
+    try:
+        records = execute_campaign(
+            specs,
+            _execute_spec,
+            n_jobs=jobs,
+            cache=cache,
+            progress=progress,
+            on_record=on_record,
+        )
     finally:
         if prov_fh is not None:
             prov_fh.close()
-    return CampaignResult(label=label or results[0].program_name, regime=regime, results=results)
+
+    results = [r.result for r in records]
+    cache_hits = sum(1 for r in records if r.cache_hit)
+    if provenance_path:
+        meta = campaign_record(
+            bench=label or results[0].program_name,
+            regime=regime,
+            n_runs=n_runs,
+            base_seed=base_seed,
+            jobs=jobs,
+            cache_hits=cache_hits,
+            cache_misses=n_runs - cache_hits,
+            started_at=started_at,
+            finished_at=_time.time(),
+        )
+        with open(provenance_path + ".meta.json", "w", encoding="utf-8") as fh:
+            import json as _json
+
+            _json.dump(meta, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return CampaignResult(
+        label=label or results[0].program_name,
+        regime=regime,
+        results=results,
+        jobs=jobs,
+        cache_hits=cache_hits,
+    )
 
 
 def run_nas_campaign(
@@ -517,6 +657,10 @@ def run_nas_campaign(
     fault_plan: Optional[FaultPlan] = None,
     fault_plan_factory: Optional[Callable[[int, int], FaultPlan]] = None,
     fault_tolerance: Optional[FaultTolerance] = None,
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> CampaignResult:
     """The paper's unit of measurement: N runs of one NAS benchmark under
     one regime (paper: N=1000)."""
@@ -540,4 +684,8 @@ def run_nas_campaign(
         fault_plan=fault_plan,
         fault_plan_factory=fault_plan_factory,
         fault_tolerance=fault_tolerance,
+        n_jobs=n_jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        progress=progress,
     )

@@ -102,6 +102,8 @@ def _campaign_point(
     machine_factory: Optional[Callable[[], Machine]] = None,
     bench: str = "is",
     klass: str = "A",
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
 ) -> SweepPoint:
     from repro.experiments.runner import run_campaign
 
@@ -121,6 +123,8 @@ def _campaign_point(
         noise=noise,
         cold_speed=spec.cold_speed,
         rewarm_scale=spec.rewarm_scale,
+        n_jobs=n_jobs,
+        use_cache=use_cache,
     )
     times = summarize(campaign.app_times_s())
     return SweepPoint(
@@ -142,6 +146,8 @@ def noise_intensity_sweep(
     base_seed: int = 0,
     bench: str = "is",
     klass: str = "A",
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
 ) -> SweepResult:
     """Stock vs HPL across noise-activity multipliers."""
     base = cluster_node_profile()
@@ -153,6 +159,7 @@ def noise_intensity_sweep(
                 _campaign_point(
                     factor, regime, n_runs, base_seed,
                     noise=profile, bench=bench, klass=klass,
+                    n_jobs=n_jobs, use_cache=use_cache,
                 )
             )
     return SweepResult("noise intensity", "activity x", tuple(points))
@@ -163,6 +170,8 @@ def smt_factor_sweep(
     *,
     n_runs: int = 8,
     base_seed: int = 0,
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
 ) -> SweepResult:
     """Vary the second-thread throughput factor of the js22 model.
 
@@ -190,6 +199,7 @@ def smt_factor_sweep(
                     factor, regime, n_runs, base_seed,
                     machine_factory=machine_factory,
                     program_factory=lambda p=reference_program: p,
+                    n_jobs=n_jobs, use_cache=use_cache,
                 )
             )
     return SweepResult("SMT co-run throughput", "factor", tuple(points))
@@ -200,6 +210,8 @@ def spin_threshold_sweep(
     *,
     n_runs: int = 8,
     base_seed: int = 0,
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
 ) -> SweepResult:
     """Vary the MPI library's spin budget on a fine-grained benchmark."""
     spec = nas_spec("is", "A")
@@ -222,6 +234,7 @@ def spin_threshold_sweep(
                 _campaign_point(
                     float(threshold), regime, n_runs, base_seed,
                     program_factory=factory,
+                    n_jobs=n_jobs, use_cache=use_cache,
                 )
             )
     return SweepResult("MPI spin threshold", "threshold us", tuple(points))

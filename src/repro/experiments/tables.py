@@ -38,20 +38,35 @@ BENCH_ORDER: Tuple[Tuple[str, str], ...] = (
 
 
 class CampaignCache:
-    """Memoizes campaigns so Table Ia and Table II (etc.) share runs."""
+    """Memoizes campaigns so Table Ia and Table II (etc.) share runs.
 
-    def __init__(self, n_runs: int, base_seed: int = 0) -> None:
+    In-memory and per-process; *n_jobs*/*use_cache* additionally fan each
+    campaign across workers and consult the on-disk result cache
+    (:mod:`repro.parallel.cache`) when a campaign does have to run.
+    """
+
+    def __init__(
+        self,
+        n_runs: int,
+        base_seed: int = 0,
+        *,
+        n_jobs: Optional[int] = 1,
+        use_cache: bool = False,
+    ) -> None:
         if n_runs < 2:
             raise ValueError("campaigns need at least 2 runs")
         self.n_runs = n_runs
         self.base_seed = base_seed
+        self.n_jobs = n_jobs
+        self.use_cache = use_cache
         self._cache: Dict[Tuple[str, str, str], CampaignResult] = {}
 
     def get(self, name: str, klass: str, regime: str) -> CampaignResult:
         key = (name, klass, regime)
         if key not in self._cache:
             self._cache[key] = run_nas_campaign(
-                name, klass, regime, self.n_runs, base_seed=self.base_seed
+                name, klass, regime, self.n_runs, base_seed=self.base_seed,
+                n_jobs=self.n_jobs, use_cache=self.use_cache,
             )
         return self._cache[key]
 
@@ -114,9 +129,11 @@ def table1(
     n_runs: int = 50,
     base_seed: int = 0,
     benches: Sequence[Tuple[str, str]] = BENCH_ORDER,
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
 ) -> Table1:
     """Regenerate Table Ia (``regime="stock"``) or Ib (``regime="hpl"``)."""
-    cache = cache or CampaignCache(n_runs, base_seed)
+    cache = cache or CampaignCache(n_runs, base_seed, n_jobs=n_jobs, use_cache=use_cache)
     rows: List[SchedulerNoiseRow] = []
     for name, klass in benches:
         campaign = cache.get(name, klass, regime)
@@ -196,9 +213,11 @@ def table2(
     n_runs: int = 50,
     base_seed: int = 0,
     benches: Sequence[Tuple[str, str]] = BENCH_ORDER,
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
 ) -> Table2:
     """Regenerate Table II (runs — or reuses — both kernels' campaigns)."""
-    cache = cache or CampaignCache(n_runs, base_seed)
+    cache = cache or CampaignCache(n_runs, base_seed, n_jobs=n_jobs, use_cache=use_cache)
     rows: List[ExecutionTimeRow] = []
     for name, klass in benches:
         stock = cache.get(name, klass, "stock")
@@ -258,10 +277,15 @@ def policy_comparison(
     n_runs: int = 50,
     base_seed: int = 0,
     regimes: Sequence[str] = ("stock", "nice", "rt", "pinned", "hpl"),
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
 ) -> PolicyComparison:
     """Run one benchmark under every §IV regime."""
     campaigns = {
-        regime: run_nas_campaign(name, klass, regime, n_runs, base_seed=base_seed)
+        regime: run_nas_campaign(
+            name, klass, regime, n_runs, base_seed=base_seed,
+            n_jobs=n_jobs, use_cache=use_cache,
+        )
         for regime in regimes
     }
     return PolicyComparison(

@@ -33,6 +33,7 @@ from repro.obs.export import (
 from repro.obs.observer import KernelObserver, observe
 from repro.obs.provenance import (
     PROVENANCE_SCHEMA_VERSION,
+    campaign_record,
     config_digest,
     read_records,
     run_record,
@@ -45,6 +46,7 @@ __all__ = [
     "TaskLatency",
     "KernelObserver",
     "observe",
+    "campaign_record",
     "trace_to_chrome",
     "trace_to_ftrace",
     "write_chrome_trace",

@@ -20,6 +20,7 @@ __all__ = [
     "PROVENANCE_SCHEMA_VERSION",
     "config_digest",
     "run_record",
+    "campaign_record",
     "append_record",
     "read_records",
 ]
@@ -87,6 +88,49 @@ def run_record(
     if faults is not None:
         record["faults"] = faults
     return record
+
+
+def campaign_record(
+    *,
+    bench: str,
+    regime: str,
+    n_runs: int,
+    base_seed: int,
+    jobs: int,
+    cache_hits: int,
+    cache_misses: int,
+    started_at: float,
+    finished_at: float,
+) -> Dict[str, object]:
+    """Execution metadata for one whole campaign (the ``.meta.json``
+    sidecar next to a provenance JSONL).
+
+    Kept *out* of the per-run records on purpose: worker count, cache hits
+    and wall-clock timestamps describe how the campaign was executed, not
+    what it simulated, so the JSONL stays byte-identical between
+    ``--jobs 1`` and ``--jobs N`` and between cold and warm caches — the
+    invariant the CI determinism gate diffs for.
+    """
+    import time
+
+    return {
+        "schema": PROVENANCE_SCHEMA_VERSION,
+        "record": "campaign",
+        "bench": bench,
+        "regime": regime,
+        "n_runs": n_runs,
+        "base_seed": base_seed,
+        "jobs": jobs,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "started_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime(started_at)
+        ),
+        "finished_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime(finished_at)
+        ),
+        "duration_s": round(finished_at - started_at, 3),
+    }
 
 
 def append_record(fh, record: Dict[str, object]) -> None:

@@ -1,0 +1,44 @@
+"""Parallel campaign execution: deterministic fan-out + result caching.
+
+The paper's unit of measurement is 1000 repetitions per configuration; each
+repetition's RNG streams derive from ``_derive_seed(base_seed, run_index)``
+alone, so repetitions are embarrassingly parallel.  This package fans them
+across a process pool (:mod:`repro.parallel.engine`), describes each one as
+a picklable content-addressed spec (:mod:`repro.parallel.jobspec`), and
+caches finished runs on disk (:mod:`repro.parallel.cache`) so unchanged
+campaigns re-run without simulating.
+
+The determinism contract — parallel results byte-identical to serial — is
+enforced by ``tests/test_parallel_engine.py`` and by the CI determinism
+gate, not merely promised here.
+"""
+
+from repro.parallel.cache import (
+    CACHE_ENV_VAR,
+    DEFAULT_CACHE_DIR,
+    CacheInfo,
+    ResultCache,
+)
+from repro.parallel.engine import (
+    CampaignRunError,
+    RunRecord,
+    WorkerPoolError,
+    execute_campaign,
+    resolve_jobs,
+)
+from repro.parallel.jobspec import RunSpec, machine_fingerprint, stable_digest
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "DEFAULT_CACHE_DIR",
+    "CacheInfo",
+    "CampaignRunError",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "WorkerPoolError",
+    "execute_campaign",
+    "machine_fingerprint",
+    "resolve_jobs",
+    "stable_digest",
+]

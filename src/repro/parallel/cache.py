@@ -1,0 +1,162 @@
+"""Campaign result cache: content-addressed per-run records on disk.
+
+Each finished repetition is stored under the :meth:`RunSpec.digest` of the
+spec that produced it — a hash over (program, machine, noise, kernel config,
+fault plan, seed, package version).  Re-running a campaign whose inputs are
+unchanged therefore loads every repetition from ``.repro-cache/`` and
+executes zero simulations; any input change (a different seed, one kernel
+knob, a new package version) misses cleanly because the key moves.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` — a pickled ``{"schema", "version",
+"result", "faults"}`` payload.  Writes are atomic (temp file +
+``os.replace``) so concurrent campaigns — including the engine's own
+workers' parents — never observe torn entries; a corrupt or unreadable
+entry degrades to a miss, never an error.
+
+The root defaults to ``.repro-cache`` in the working directory and can be
+moved with the ``REPRO_CACHE_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro import __version__
+
+__all__ = ["CACHE_ENV_VAR", "DEFAULT_CACHE_DIR", "CacheInfo", "ResultCache"]
+
+#: Environment variable overriding the cache root directory.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+#: Default cache root (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump when the payload layout changes; older entries then miss.
+_PAYLOAD_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """What ``hpl-repro cache info`` reports."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+    def render(self) -> str:
+        size = self.total_bytes
+        for unit in ("B", "KiB", "MiB", "GiB"):
+            if size < 1024 or unit == "GiB":
+                break
+            size /= 1024
+        return (
+            f"cache root : {self.root}\n"
+            f"entries    : {self.entries}\n"
+            f"total size : {size:.1f} {unit}"
+        )
+
+
+class ResultCache:
+    """Content-addressed store of per-run campaign results."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_ENV_VAR) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ----------------------------------------------------------------- paths
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------ read/write
+
+    def get(self, key: str) -> Optional[Tuple[object, Optional[dict]]]:
+        """The cached ``(result, faults)`` pair for *key*, or None.
+
+        Every failure mode — missing file, torn write, unpicklable blob,
+        foreign schema — is a miss: the caller re-simulates and overwrites.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != _PAYLOAD_SCHEMA
+            or "result" not in payload
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"], payload.get("faults")
+
+    def put(self, key: str, result: object, faults: Optional[dict] = None) -> None:
+        """Store one finished run atomically (last writer wins)."""
+        payload = {
+            "schema": _PAYLOAD_SCHEMA,
+            "version": __version__,
+            "result": result,
+            "faults": faults,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------ management
+
+    def _entry_paths(self):
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if sub.is_dir():
+                yield from sorted(sub.glob("*.pkl"))
+
+    def info(self) -> CacheInfo:
+        entries = 0
+        total = 0
+        for path in self._entry_paths():
+            entries += 1
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return CacheInfo(root=str(self.root), entries=entries, total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        # Sweep now-empty shard directories (best effort).
+        if self.root.is_dir():
+            for sub in self.root.iterdir():
+                if sub.is_dir():
+                    try:
+                        sub.rmdir()
+                    except OSError:
+                        pass
+        return removed

@@ -1,0 +1,135 @@
+"""Picklable per-run job specs for the parallel campaign engine.
+
+A campaign is N independent repetitions; each repetition is fully described
+by a :class:`RunSpec` — the program (pure phase data), the machine model,
+the noise profile, the kernel configuration, the fault plan and the derived
+seed.  Everything in a spec is plain data, so it crosses a process boundary
+by pickling and, just as importantly, it can be *named*: :meth:`RunSpec.digest`
+is a stable content hash over the spec plus the package version, which is
+exactly the identity the result cache keys on (two runs with equal digests
+would simulate the same microseconds).
+
+The parent process builds specs by calling the campaign's factories in run
+order — factories themselves (often closures) never cross the boundary, so
+``run_campaign`` keeps accepting arbitrary callables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro import __version__
+from repro.apps.spmd import Program
+from repro.faults import FaultPlan, FaultTolerance
+from repro.kernel.daemons import NoiseProfile
+from repro.kernel.kernel import KernelConfig
+from repro.topology.machine import Machine
+
+__all__ = ["RunSpec", "machine_fingerprint", "spec_fingerprint", "stable_digest"]
+
+
+def _jsonable(value):
+    """Recursively normalize *value* into deterministic JSON-ready data.
+
+    Sets are sorted (their iteration order is not a contract), tuples become
+    lists, dataclasses become dicts — so the digest never depends on hash
+    randomization or insertion order.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def stable_digest(payload, length: int = 32) -> str:
+    """sha256 hex digest (truncated to *length*) of normalized *payload*."""
+    blob = json.dumps(_jsonable(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:length]
+
+
+def machine_fingerprint(machine: Machine) -> Dict[str, object]:
+    """The content identity of a :class:`Machine`: shape, SMT throughput and
+    cache hierarchy.  Two machines with equal fingerprints behave
+    identically in the simulator."""
+    chips = len(machine.chips)
+    cores_per_chip = len(machine.chips[0].cores) if machine.chips else 0
+    threads_per_core = (
+        len(machine.chips[0].cores[0].threads)
+        if machine.chips and machine.chips[0].cores
+        else 0
+    )
+    return {
+        "name": machine.name,
+        "chips": chips,
+        "cores_per_chip": cores_per_chip,
+        "threads_per_core": threads_per_core,
+        "smt_throughput": list(machine.smt_throughput),
+        "cache": _jsonable(machine.cache),
+    }
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One campaign repetition, as data.
+
+    Workers receive nothing else: the simulation a spec describes depends
+    only on the spec's content, which is what makes the parallel fan-out
+    deterministic and the cache sound.
+    """
+
+    run_index: int
+    seed: int
+    program: Program
+    nprocs: int
+    regime: str
+    machine: Machine
+    noise: Optional[NoiseProfile] = None
+    kernel_config: Optional[KernelConfig] = None
+    cold_speed: Optional[float] = None
+    rewarm_scale: float = 1.0
+    fault_plan: Optional[FaultPlan] = None
+    fault_tolerance: Optional[FaultTolerance] = None
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Everything simulation-relevant, as deterministic plain data.
+
+        ``run_index`` is deliberately absent: the index only orders results,
+        the *seed* is what differentiates repetitions.  The package version
+        is included so a code change (released as a version bump) never
+        reuses stale cached results.
+        """
+        return {
+            "version": __version__,
+            "seed": self.seed,
+            "program": _jsonable(self.program),
+            "nprocs": self.nprocs,
+            "regime": self.regime,
+            "machine": machine_fingerprint(self.machine),
+            "noise": _jsonable(self.noise),
+            "kernel_config": _jsonable(self.kernel_config),
+            "cold_speed": self.cold_speed,
+            "rewarm_scale": self.rewarm_scale,
+            "fault_plan": self.fault_plan.as_dict() if self.fault_plan else None,
+            "fault_tolerance": _jsonable(self.fault_tolerance),
+        }
+
+    def digest(self) -> str:
+        """Stable 32-hex content key (the cache key) for this spec."""
+        return stable_digest(self.fingerprint())
+
+
+def spec_fingerprint(spec: RunSpec) -> Dict[str, object]:
+    """Module-level alias of :meth:`RunSpec.fingerprint` (introspection,
+    tests)."""
+    return spec.fingerprint()
