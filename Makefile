@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-faults lint bench report figures examples clean
+.PHONY: install test test-faults test-sanitize lint bench report figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -17,6 +17,11 @@ test-faults:
 		tests/test_faults_rank_failures.py tests/test_faults_watchdog.py \
 		tests/test_faults_zero_overhead.py tests/test_sim_stall.py \
 		tests/test_properties_faults.py
+
+# Full suite with the scheduler invariant sanitizer attached to every
+# kernel (the simulator's lockdep/KASAN analog; see repro.kernel.invariants).
+test-sanitize:
+	REPRO_SANITIZE=1 $(PY) -m pytest tests/
 
 # Static checks. ruff is optional (not vendored); fall back to a syntax
 # check via compileall so the target is useful on a bare toolchain.

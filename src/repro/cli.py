@@ -61,6 +61,17 @@ def _nonneg_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """argparse type: a finite float > 0 (per-run timeouts, in seconds)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if not value > 0 or value != value or value == float("inf"):
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {text!r}")
+    return value
+
+
 def _unwritable(path: str) -> Optional[str]:
     """One-line reason *path* cannot be written, or None if it can.
 
@@ -98,7 +109,8 @@ _REGIMES = ["stock", "nice", "rt", "pinned", "hpl"]
 
 
 def _add_exec_flags(p: argparse.ArgumentParser, *, cache_dir: bool = False) -> None:
-    """--jobs/--no-cache, shared by every campaign-running subcommand."""
+    """--jobs/--no-cache plus the supervision flags (--timeout/--retries/
+    --allow-partial/--resume), shared by every campaign-running subcommand."""
     p.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
                    help="worker processes for campaign repetitions "
                         "(default: all CPUs; 1 = in-process serial loop)")
@@ -108,6 +120,50 @@ def _add_exec_flags(p: argparse.ArgumentParser, *, cache_dir: bool = False) -> N
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="result-cache directory (default: .repro-cache "
                             "or $REPRO_CACHE_DIR)")
+    p.add_argument("--timeout", type=_positive_float, default=None,
+                   metavar="SECONDS",
+                   help="per-run wall-clock budget; a stuck repetition is "
+                        "killed, classified transient, and retried")
+    p.add_argument("--retries", type=_nonneg_int, default=None, metavar="N",
+                   help="retry budget for transient failures (worker death, "
+                        "timeout, OSError; default 3). Deterministic "
+                        "simulation errors always fail fast after 1 retry")
+    p.add_argument("--allow-partial", action="store_true",
+                   help="salvage completed runs when a repetition exhausts "
+                        "its retries; missing run indices are recorded as "
+                        "explicit holes in the .meta.json sidecar")
+    p.add_argument("--resume", action="store_true",
+                   help="replay journal-confirmed runs from the result cache "
+                        "and execute only the remainder (requires caching; "
+                        "output is byte-identical to an uninterrupted run)")
+
+
+def _supervisor_config(args: argparse.Namespace):
+    """Build the SupervisorConfig the flags ask for (None = all defaults)."""
+    from repro.parallel.supervisor import RetryPolicy, SupervisorConfig
+
+    if args.timeout is None and args.retries is None and not args.allow_partial:
+        return None
+    retry = RetryPolicy() if args.retries is None else RetryPolicy(
+        max_retries=args.retries
+    )
+    return SupervisorConfig(
+        timeout_s=args.timeout,
+        retry=retry,
+        allow_partial=args.allow_partial,
+    )
+
+
+def _resume_usable(args: argparse.Namespace) -> bool:
+    """Exit-2 precondition for --resume: it replays from the result cache,
+    so --no-cache makes it meaningless.  Journal existence is checked by the
+    campaign itself (single-campaign commands are strict; multi-campaign
+    drivers start missing campaigns fresh)."""
+    if args.resume and not args.use_cache:
+        print("error: --resume needs the result cache (it replays finished "
+              "runs from it); drop --no-cache", file=sys.stderr)
+        return False
+    return True
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -401,10 +457,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_supervision(campaign, args: argparse.Namespace) -> None:
+    """One line each for retries, holes, and resume replay — only when they
+    happened, so clean campaigns print exactly what they always did."""
+    if campaign.retries:
+        print(f"  retried {campaign.retries} attempt(s)")
+    if campaign.holes:
+        print(f"  partial: {len(campaign.holes)} hole(s) at run "
+              f"indices {campaign.holes}")
+    if args.resume:
+        print(f"  resumed: {campaign.replayed} run(s) replayed from the journal")
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_nas_campaign
+    from repro.parallel.supervisor import NoJournalError
 
     if _unknown_bench(args.bench, args.klass):
+        return 2
+    if not _resume_usable(args):
         return 2
     if args.provenance is not None:
         reason = _unwritable(args.provenance)
@@ -412,30 +483,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"error: cannot write --provenance {args.provenance}: {reason}",
                   file=sys.stderr)
             return 2
-    campaign = run_nas_campaign(
-        args.bench, args.klass, args.regime, args.runs, base_seed=args.seed,
-        provenance_path=args.provenance,
-        n_jobs=args.jobs, use_cache=args.use_cache, cache_dir=args.cache_dir,
-    )
-    times = summarize(campaign.app_times_s())
-    migs = summarize([float(v) for v in campaign.migrations()])
-    switches = summarize([float(v) for v in campaign.context_switches()])
+    try:
+        campaign = run_nas_campaign(
+            args.bench, args.klass, args.regime, args.runs, base_seed=args.seed,
+            provenance_path=args.provenance,
+            n_jobs=args.jobs, use_cache=args.use_cache, cache_dir=args.cache_dir,
+            supervise=_supervisor_config(args), resume=args.resume,
+        )
+    except NoJournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"{campaign.label} under {args.regime}, {args.runs} runs:")
-    print(
-        f"  time  min {times.minimum:.2f}  avg {times.mean:.2f}  "
-        f"max {times.maximum:.2f}  var {times.variation:.2f}%"
-    )
-    print(
-        f"  migr  min {migs.minimum:.0f}  avg {migs.mean:.2f}  max {migs.maximum:.0f}"
-    )
-    print(
-        f"  ctxsw min {switches.minimum:.0f}  avg {switches.mean:.2f}  "
-        f"max {switches.maximum:.0f}"
-    )
+    if campaign.results:
+        times = summarize(campaign.app_times_s())
+        migs = summarize([float(v) for v in campaign.migrations()])
+        switches = summarize([float(v) for v in campaign.context_switches()])
+        print(
+            f"  time  min {times.minimum:.2f}  avg {times.mean:.2f}  "
+            f"max {times.maximum:.2f}  var {times.variation:.2f}%"
+        )
+        print(
+            f"  migr  min {migs.minimum:.0f}  avg {migs.mean:.2f}  max {migs.maximum:.0f}"
+        )
+        print(
+            f"  ctxsw min {switches.minimum:.0f}  avg {switches.mean:.2f}  "
+            f"max {switches.maximum:.0f}"
+        )
+    else:
+        print("  (no repetition completed — every run is a hole)")
     print(
         f"  exec  {campaign.jobs} worker(s), "
         f"{campaign.cache_hits}/{campaign.n_runs} runs from cache"
     )
+    _print_supervision(campaign, args)
     if args.provenance:
         print(f"  provenance -> {args.provenance} ({campaign.n_runs} records)")
     return 0
@@ -502,34 +582,47 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     )
     if args.runs > 1:
         from repro.experiments.runner import run_nas_campaign
+        from repro.parallel.supervisor import NoJournalError
 
         if args.watchdog:
             print("note: --watchdog applies to single runs only; "
                   "ignored with -n > 1", file=sys.stderr)
-        campaign = run_nas_campaign(
-            args.bench, args.klass, args.regime, args.runs, base_seed=args.seed,
-            fault_plan=plan, fault_tolerance=tolerance,
-            n_jobs=args.jobs, use_cache=args.use_cache,
-        )
-        times = summarize(campaign.app_times_s())
-        walls = [r.wall_time / 1e6 for r in campaign.results]
-        stats = [r.app_stats for r in campaign.results if r.app_stats is not None]
-        aborted = sum(1 for s in stats if s.aborted)
-        crashes = sum(s.rank_crashes for s in stats)
-        restarts = sum(s.restarts for s in stats)
+        if not _resume_usable(args):
+            return 2
+        try:
+            campaign = run_nas_campaign(
+                args.bench, args.klass, args.regime, args.runs,
+                base_seed=args.seed,
+                fault_plan=plan, fault_tolerance=tolerance,
+                n_jobs=args.jobs, use_cache=args.use_cache,
+                supervise=_supervisor_config(args), resume=args.resume,
+            )
+        except NoJournalError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(f"{campaign.label} under {args.regime}, {args.runs} runs, "
               f"fault plan {plan.label!r} "
               f"({len(plan)} events, digest {plan.digest()}):")
-        print(f"  time  min {times.minimum:.2f}  avg {times.mean:.2f}  "
-              f"max {times.maximum:.2f}  var {times.variation:.2f}%")
-        print(f"  wall  min {min(walls):.2f}  avg {sum(walls) / len(walls):.2f}  "
-              f"max {max(walls):.2f}")
-        line = f"  completed {args.runs - aborted}/{args.runs}"
-        if crashes:
-            line += f"  rank crashes {crashes}  restarts {restarts}"
-        print(line)
+        if campaign.results:
+            times = summarize(campaign.app_times_s())
+            walls = [r.wall_time / 1e6 for r in campaign.results]
+            stats = [r.app_stats for r in campaign.results if r.app_stats is not None]
+            aborted = sum(1 for s in stats if s.aborted)
+            crashes = sum(s.rank_crashes for s in stats)
+            restarts = sum(s.restarts for s in stats)
+            print(f"  time  min {times.minimum:.2f}  avg {times.mean:.2f}  "
+                  f"max {times.maximum:.2f}  var {times.variation:.2f}%")
+            print(f"  wall  min {min(walls):.2f}  avg {sum(walls) / len(walls):.2f}  "
+                  f"max {max(walls):.2f}")
+            line = f"  completed {args.runs - aborted}/{args.runs}"
+            if crashes:
+                line += f"  rank crashes {crashes}  restarts {restarts}"
+            print(line)
+        else:
+            print("  (no repetition completed — every run is a hole)")
         print(f"  exec  {campaign.jobs} worker(s), "
               f"{campaign.cache_hits}/{campaign.n_runs} runs from cache")
+        _print_supervision(campaign, args)
         return 0
     run = run_nas_faulted(
         args.bench, args.klass, args.regime, seed=args.seed,
@@ -571,6 +664,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spin_threshold_sweep,
     )
 
+    if not _resume_usable(args):
+        return 2
     runner = {
         "noise": noise_intensity_sweep,
         "smt": smt_factor_sweep,
@@ -579,6 +674,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     result = runner(
         n_runs=args.runs, base_seed=args.seed,
         n_jobs=args.jobs, use_cache=args.use_cache,
+        supervise=_supervisor_config(args), resume=args.resume,
     )
     print(result.render())
     return 0
@@ -587,8 +683,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
+    if not _resume_usable(args):
+        return 2
     print(generate_report(
-        args.runs, args.seed, n_jobs=args.jobs, use_cache=args.use_cache
+        args.runs, args.seed, n_jobs=args.jobs, use_cache=args.use_cache,
+        supervise=_supervisor_config(args), resume=args.resume,
     ))
     return 0
 
@@ -596,9 +695,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments.export import export_figures
 
+    if not _resume_usable(args):
+        return 2
     written = export_figures(
         args.out_dir, n_runs=args.runs, seed=args.seed,
         n_jobs=args.jobs, use_cache=args.use_cache,
+        supervise=_supervisor_config(args), resume=args.resume,
     )
     for path in written:
         print(f"wrote {path}")
@@ -614,7 +716,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"error: unknown experiment {args.exp_id!r} "
               f"(see 'hpl-repro list')", file=sys.stderr)
         return 2
-    result = exp.run(args.runs, args.seed, n_jobs=args.jobs, use_cache=args.use_cache)
+    if not _resume_usable(args):
+        return 2
+    result = exp.run(
+        args.runs, args.seed, n_jobs=args.jobs, use_cache=args.use_cache,
+        supervise=_supervisor_config(args), resume=args.resume,
+    )
     print(result.render())  # type: ignore[attr-defined]
     return 0
 

@@ -101,6 +101,8 @@ def export_figures(
     rt_campaign: Optional[CampaignResult] = None,
     n_jobs: Optional[int] = 1,
     use_cache: bool = False,
+    supervise=None,
+    resume: bool = False,
 ) -> List[Path]:
     """Write figure2.svg, figure3a.svg, figure3b.svg, figure4.svg (and the
     CSVs behind them) into *out_dir*; returns the written paths.
@@ -115,10 +117,12 @@ def export_figures(
     stock = stock_campaign or run_nas_campaign(
         "ep", "A", "stock", n_runs, base_seed=seed,
         n_jobs=n_jobs, use_cache=use_cache,
+        supervise=supervise, resume=resume, resume_missing_ok=True,
     )
     rt = rt_campaign or run_nas_campaign(
         "ep", "A", "rt", n_runs, base_seed=seed,
         n_jobs=n_jobs, use_cache=use_cache,
+        supervise=supervise, resume=resume, resume_missing_ok=True,
     )
 
     def write(name: str, content: str) -> None:

@@ -19,63 +19,80 @@ class Experiment:
     exp_id: str
     paper_artifact: str
     description: str
-    #: fn(n_runs, seed, *, n_jobs=1, use_cache=False) -> object with a
-    #: .render() method.  Every regenerator accepts the execution keywords;
-    #: the ones whose artifact is a single run simply ignore them.
+    #: fn(n_runs, seed, *, n_jobs=1, use_cache=False, supervise=None,
+    #: resume=False) -> object with a .render() method.  Every regenerator
+    #: accepts the execution keywords (worker count, cache, supervisor
+    #: config, journal resume); the ones whose artifact is a single run
+    #: simply ignore them.
     run: Callable[..., object]
 
 
-def _fig1(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _fig1(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.experiments.figures import figure1
 
     return figure1(seed=seed)
 
 
-def _fig2(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _fig2(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.experiments.figures import figure2
 
-    return figure2(n_runs, seed=seed, n_jobs=n_jobs, use_cache=use_cache)
+    return figure2(n_runs, seed=seed, n_jobs=n_jobs, use_cache=use_cache,
+                   supervise=supervise, resume=resume)
 
 
-def _fig3(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _fig3(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.experiments.figures import figure3
 
-    return figure3(n_runs, seed=seed, n_jobs=n_jobs, use_cache=use_cache)
+    return figure3(n_runs, seed=seed, n_jobs=n_jobs, use_cache=use_cache,
+                   supervise=supervise, resume=resume)
 
 
-def _fig4(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _fig4(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.experiments.figures import figure4
 
-    return figure4(n_runs, seed=seed, n_jobs=n_jobs, use_cache=use_cache)
+    return figure4(n_runs, seed=seed, n_jobs=n_jobs, use_cache=use_cache,
+                   supervise=supervise, resume=resume)
 
 
-def _tab1a(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _tab1a(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.experiments.tables import table1
 
     return table1(
-        "stock", n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache
+        "stock", n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache,
+        supervise=supervise, resume=resume,
     )
 
 
-def _tab1b(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _tab1b(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.experiments.tables import table1
 
     return table1(
-        "hpl", n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache
+        "hpl", n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache,
+        supervise=supervise, resume=resume,
     )
 
 
-def _tab2(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _tab2(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.experiments.tables import table2
 
-    return table2(n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache)
+    return table2(n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache,
+                  supervise=supervise, resume=resume)
 
 
-def _policy(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _policy(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.experiments.tables import policy_comparison
 
     return policy_comparison(
-        "ep", "A", n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache
+        "ep", "A", n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache,
+        supervise=supervise, resume=resume,
     )
 
 
@@ -96,7 +113,8 @@ class _ResonanceResult:
         return "\n".join(lines)
 
 
-def _resonance(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _resonance(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.cluster.resonance import spare_core_comparison
 
     curves = spare_core_comparison([1, 8, 64, 512, 4096], seed=seed)
@@ -115,7 +133,8 @@ class _MultinodeResult:
         return "\n".join(lines)
 
 
-def _multinode(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _multinode(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.apps.spmd import Program
     from repro.cluster.multinode import run_cluster_job
     from repro.units import msecs
@@ -142,15 +161,18 @@ class _DecompositionResult:
         return "\n".join(lines)
 
 
-def _resilience(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _resilience(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.experiments.resilience import resilience_campaign
 
     return resilience_campaign(
-        n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache
+        n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache,
+        supervise=supervise, resume=resume,
     )
 
 
-def _decomposition(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False):
+def _decomposition(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
     from repro.analysis.decomposition import decompose_nas_noise
 
     rows = []

@@ -130,11 +130,15 @@ def resilience_campaign(
     nprocs: Optional[int] = None,
     n_jobs: Optional[int] = 1,
     use_cache: bool = False,
+    supervise=None,
+    resume: bool = False,
 ) -> ResilienceResult:
     """Run the 0/1/2-cores-offline comparison on the js22 preset.
 
     *n_jobs*/*use_cache* fan each cell's repetitions across workers and
-    consult the campaign result cache (see :mod:`repro.parallel`)."""
+    consult the campaign result cache (see :mod:`repro.parallel`);
+    *supervise*/*resume* configure the supervised layer (journal-lenient,
+    like every multi-campaign driver)."""
     machine = power6_js22()
     if nprocs is None:
         nprocs = machine.n_cpus
@@ -153,6 +157,7 @@ def resilience_campaign(
         baseline = run_campaign(
             factory, nprocs, regime, n_runs, base_seed=base_seed,
             n_jobs=n_jobs, use_cache=use_cache,
+            supervise=supervise, resume=resume, resume_missing_ok=True,
         )
         base_row = _row(regime, 0, [], baseline)
         rows.append(base_row)
@@ -175,6 +180,7 @@ def resilience_campaign(
                 factory, nprocs, regime, n_runs,
                 base_seed=base_seed, fault_plan=plan,
                 n_jobs=n_jobs, use_cache=use_cache,
+                supervise=supervise, resume=resume, resume_missing_ok=True,
             )
             row = _row(regime, k, cpus, campaign)
             row._slowdown = row.mean_s / base_row.mean_s

@@ -388,6 +388,13 @@ class CampaignResult:
     jobs: int = 1
     #: Repetitions answered from the result cache instead of simulated.
     cache_hits: int = 0
+    #: Run indices salvaged as explicit holes under ``allow_partial``
+    #: (empty on complete campaigns).
+    holes: List[int] = field(default_factory=list)
+    #: Retry attempts the supervisor performed beyond first attempts.
+    retries: int = 0
+    #: Repetitions replayed from the crash-safe journal on ``--resume``.
+    replayed: int = 0
 
     @property
     def n_runs(self) -> int:
@@ -529,6 +536,9 @@ def run_campaign(
     use_cache: bool = False,
     cache_dir: Optional[str] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    supervise: Optional["SupervisorConfig"] = None,
+    resume: bool = False,
+    resume_missing_ok: bool = False,
 ) -> CampaignResult:
     """Run *n_runs* independent repetitions.
 
@@ -536,7 +546,8 @@ def run_campaign(
     file as the campaign progresses (schema: :mod:`repro.obs.provenance`),
     so a partial campaign still leaves an auditable trail; a
     ``<path>.meta.json`` sidecar records the execution metadata (worker
-    count, cache hits) without perturbing the per-run records.
+    count, cache hits, retries, holes, resume) without perturbing the
+    per-run records.
 
     Faults: *fault_plan* applies the same plan to every repetition;
     *fault_plan_factory* is called as ``factory(run_index, seed)`` for a
@@ -552,12 +563,33 @@ def run_campaign(
     content-addressed result cache (:mod:`repro.parallel.cache`) so
     unchanged repetitions skip simulation; *progress* is called with
     ``(completed, total)`` after every repetition.
+
+    Supervision: every campaign runs under the supervised layer
+    (:func:`~repro.parallel.supervisor.supervise_campaign`); *supervise*
+    overrides its configuration (per-run ``timeout_s``, ``retry`` policy,
+    ``allow_partial``).  With the cache enabled, per-run completion is
+    additionally journaled to ``<cache>/journal/<campaign-digest>.jsonl``
+    so a crashed campaign can be *resumed*: journal-confirmed indices
+    replay from the cache and only the remainder executes, byte-identical
+    to an uninterrupted run.  *resume* without a cache raises
+    :class:`~repro.parallel.supervisor.NoJournalError` (there is nothing
+    to replay from); *resume* with no matching journal raises the same
+    unless *resume_missing_ok* — the lenient mode multi-campaign drivers
+    (experiments, sweeps) use so that campaigns the crashed invocation
+    never reached simply start fresh.
     """
     import time as _time
 
     from repro.obs.provenance import append_record, campaign_record, run_record
     from repro.parallel.cache import ResultCache
-    from repro.parallel.engine import execute_campaign, resolve_jobs
+    from repro.parallel.engine import resolve_jobs
+    from repro.parallel.supervisor import (
+        NoJournalError,
+        SupervisorConfig,
+        campaign_digest,
+        journal_path_for,
+        supervise_campaign,
+    )
 
     if n_runs < 1:
         raise ValueError("n_runs must be >= 1")
@@ -582,6 +614,20 @@ def run_campaign(
     )
     jobs = resolve_jobs(n_jobs)
     cache = ResultCache(cache_dir) if use_cache else None
+    if resume and cache is None:
+        raise NoJournalError(
+            "<caching disabled> — --resume replays finished runs from the "
+            "result cache, so it cannot be combined with --no-cache"
+        )
+    journal_path = (
+        journal_path_for(cache.root, campaign_digest(specs))
+        if cache is not None
+        else None
+    )
+    if resume and resume_missing_ok and journal_path is not None:
+        if not journal_path.is_file():
+            resume = False  # nothing to replay; run this campaign fresh
+    config = supervise or SupervisorConfig()
     started_at = _time.time()
 
     prov_fh = open(provenance_path, "w", encoding="utf-8") if provenance_path else None
@@ -604,31 +650,42 @@ def run_campaign(
         )
 
     try:
-        records = execute_campaign(
+        supervised = supervise_campaign(
             specs,
             _execute_spec,
             n_jobs=jobs,
             cache=cache,
+            config=config,
             progress=progress,
             on_record=on_record,
+            journal_path=journal_path,
+            resume=resume,
         )
     finally:
         if prov_fh is not None:
             prov_fh.close()
 
+    records = supervised.records
     results = [r.result for r in records]
     cache_hits = sum(1 for r in records if r.cache_hit)
+    misses = n_runs - cache_hits - len(supervised.holes)
     if provenance_path:
         meta = campaign_record(
-            bench=label or results[0].program_name,
+            bench=label or (results[0].program_name if results else ""),
             regime=regime,
             n_runs=n_runs,
             base_seed=base_seed,
             jobs=jobs,
             cache_hits=cache_hits,
-            cache_misses=n_runs - cache_hits,
+            cache_misses=misses,
             started_at=started_at,
             finished_at=_time.time(),
+            retries=supervised.retries,
+            timeouts=supervised.timeouts,
+            pool_shrinks=supervised.pool_shrinks,
+            holes=[h.as_dict() for h in supervised.holes],
+            resumed=resume,
+            replayed=supervised.replayed,
         )
         with open(provenance_path + ".meta.json", "w", encoding="utf-8") as fh:
             import json as _json
@@ -636,11 +693,14 @@ def run_campaign(
             _json.dump(meta, fh, indent=2, sort_keys=True)
             fh.write("\n")
     return CampaignResult(
-        label=label or results[0].program_name,
+        label=label or (results[0].program_name if results else ""),
         regime=regime,
         results=results,
         jobs=jobs,
         cache_hits=cache_hits,
+        holes=supervised.hole_indices,
+        retries=supervised.retries,
+        replayed=supervised.replayed,
     )
 
 
@@ -661,6 +721,9 @@ def run_nas_campaign(
     use_cache: bool = False,
     cache_dir: Optional[str] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    supervise: Optional["SupervisorConfig"] = None,
+    resume: bool = False,
+    resume_missing_ok: bool = False,
 ) -> CampaignResult:
     """The paper's unit of measurement: N runs of one NAS benchmark under
     one regime (paper: N=1000)."""
@@ -688,4 +751,7 @@ def run_nas_campaign(
         use_cache=use_cache,
         cache_dir=cache_dir,
         progress=progress,
+        supervise=supervise,
+        resume=resume,
+        resume_missing_ok=resume_missing_ok,
     )

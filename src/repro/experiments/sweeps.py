@@ -104,6 +104,8 @@ def _campaign_point(
     klass: str = "A",
     n_jobs: Optional[int] = 1,
     use_cache: bool = False,
+    supervise=None,
+    resume: bool = False,
 ) -> SweepPoint:
     from repro.experiments.runner import run_campaign
 
@@ -125,6 +127,9 @@ def _campaign_point(
         rewarm_scale=spec.rewarm_scale,
         n_jobs=n_jobs,
         use_cache=use_cache,
+        supervise=supervise,
+        resume=resume,
+        resume_missing_ok=True,
     )
     times = summarize(campaign.app_times_s())
     return SweepPoint(
@@ -148,6 +153,8 @@ def noise_intensity_sweep(
     klass: str = "A",
     n_jobs: Optional[int] = 1,
     use_cache: bool = False,
+    supervise=None,
+    resume: bool = False,
 ) -> SweepResult:
     """Stock vs HPL across noise-activity multipliers."""
     base = cluster_node_profile()
@@ -160,6 +167,7 @@ def noise_intensity_sweep(
                     factor, regime, n_runs, base_seed,
                     noise=profile, bench=bench, klass=klass,
                     n_jobs=n_jobs, use_cache=use_cache,
+                    supervise=supervise, resume=resume,
                 )
             )
     return SweepResult("noise intensity", "activity x", tuple(points))
@@ -172,6 +180,8 @@ def smt_factor_sweep(
     base_seed: int = 0,
     n_jobs: Optional[int] = 1,
     use_cache: bool = False,
+    supervise=None,
+    resume: bool = False,
 ) -> SweepResult:
     """Vary the second-thread throughput factor of the js22 model.
 
@@ -200,6 +210,7 @@ def smt_factor_sweep(
                     machine_factory=machine_factory,
                     program_factory=lambda p=reference_program: p,
                     n_jobs=n_jobs, use_cache=use_cache,
+                    supervise=supervise, resume=resume,
                 )
             )
     return SweepResult("SMT co-run throughput", "factor", tuple(points))
@@ -212,6 +223,8 @@ def spin_threshold_sweep(
     base_seed: int = 0,
     n_jobs: Optional[int] = 1,
     use_cache: bool = False,
+    supervise=None,
+    resume: bool = False,
 ) -> SweepResult:
     """Vary the MPI library's spin budget on a fine-grained benchmark."""
     spec = nas_spec("is", "A")
@@ -235,6 +248,7 @@ def spin_threshold_sweep(
                     float(threshold), regime, n_runs, base_seed,
                     program_factory=factory,
                     n_jobs=n_jobs, use_cache=use_cache,
+                    supervise=supervise, resume=resume,
                 )
             )
     return SweepResult("MPI spin threshold", "threshold us", tuple(points))

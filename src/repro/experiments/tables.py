@@ -42,7 +42,10 @@ class CampaignCache:
 
     In-memory and per-process; *n_jobs*/*use_cache* additionally fan each
     campaign across workers and consult the on-disk result cache
-    (:mod:`repro.parallel.cache`) when a campaign does have to run.
+    (:mod:`repro.parallel.cache`) when a campaign does have to run;
+    *supervise*/*resume* configure the supervised execution layer
+    (timeouts, retry, journal replay — lenient about missing journals,
+    since a multi-table invocation may never have reached some campaigns).
     """
 
     def __init__(
@@ -52,6 +55,8 @@ class CampaignCache:
         *,
         n_jobs: Optional[int] = 1,
         use_cache: bool = False,
+        supervise=None,
+        resume: bool = False,
     ) -> None:
         if n_runs < 2:
             raise ValueError("campaigns need at least 2 runs")
@@ -59,6 +64,8 @@ class CampaignCache:
         self.base_seed = base_seed
         self.n_jobs = n_jobs
         self.use_cache = use_cache
+        self.supervise = supervise
+        self.resume = resume
         self._cache: Dict[Tuple[str, str, str], CampaignResult] = {}
 
     def get(self, name: str, klass: str, regime: str) -> CampaignResult:
@@ -67,6 +74,8 @@ class CampaignCache:
             self._cache[key] = run_nas_campaign(
                 name, klass, regime, self.n_runs, base_seed=self.base_seed,
                 n_jobs=self.n_jobs, use_cache=self.use_cache,
+                supervise=self.supervise, resume=self.resume,
+                resume_missing_ok=True,
             )
         return self._cache[key]
 
@@ -131,9 +140,14 @@ def table1(
     benches: Sequence[Tuple[str, str]] = BENCH_ORDER,
     n_jobs: Optional[int] = 1,
     use_cache: bool = False,
+    supervise=None,
+    resume: bool = False,
 ) -> Table1:
     """Regenerate Table Ia (``regime="stock"``) or Ib (``regime="hpl"``)."""
-    cache = cache or CampaignCache(n_runs, base_seed, n_jobs=n_jobs, use_cache=use_cache)
+    cache = cache or CampaignCache(
+        n_runs, base_seed, n_jobs=n_jobs, use_cache=use_cache,
+        supervise=supervise, resume=resume,
+    )
     rows: List[SchedulerNoiseRow] = []
     for name, klass in benches:
         campaign = cache.get(name, klass, regime)
@@ -215,9 +229,14 @@ def table2(
     benches: Sequence[Tuple[str, str]] = BENCH_ORDER,
     n_jobs: Optional[int] = 1,
     use_cache: bool = False,
+    supervise=None,
+    resume: bool = False,
 ) -> Table2:
     """Regenerate Table II (runs — or reuses — both kernels' campaigns)."""
-    cache = cache or CampaignCache(n_runs, base_seed, n_jobs=n_jobs, use_cache=use_cache)
+    cache = cache or CampaignCache(
+        n_runs, base_seed, n_jobs=n_jobs, use_cache=use_cache,
+        supervise=supervise, resume=resume,
+    )
     rows: List[ExecutionTimeRow] = []
     for name, klass in benches:
         stock = cache.get(name, klass, "stock")
@@ -279,12 +298,15 @@ def policy_comparison(
     regimes: Sequence[str] = ("stock", "nice", "rt", "pinned", "hpl"),
     n_jobs: Optional[int] = 1,
     use_cache: bool = False,
+    supervise=None,
+    resume: bool = False,
 ) -> PolicyComparison:
     """Run one benchmark under every §IV regime."""
     campaigns = {
         regime: run_nas_campaign(
             name, klass, regime, n_runs, base_seed=base_seed,
             n_jobs=n_jobs, use_cache=use_cache,
+            supervise=supervise, resume=resume, resume_missing_ok=True,
         )
         for regime in regimes
     }

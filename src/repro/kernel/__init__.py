@@ -22,6 +22,12 @@ and CFS Linux classes".
 
 from repro.kernel.task import Task, TaskState, SchedPolicy
 from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.invariants import (
+    InvariantViolation,
+    SchedInvariantChecker,
+    attach_sanitizer,
+    sanitizer_enabled,
+)
 from repro.kernel.irq import TimerInterruptParams, TimerInterrupts
 from repro.kernel.power import EnergyMeter, PowerParams
 from repro.kernel.proc import consistency_check, render_ps, render_schedstat, render_task_sched
@@ -32,6 +38,10 @@ __all__ = [
     "SchedPolicy",
     "Kernel",
     "KernelConfig",
+    "InvariantViolation",
+    "SchedInvariantChecker",
+    "attach_sanitizer",
+    "sanitizer_enabled",
     "TimerInterruptParams",
     "TimerInterrupts",
     "EnergyMeter",

@@ -26,6 +26,7 @@ from repro.core.hpl_balancer import HplForkPlacer
 from repro.core.hpl_class import HplClass, HplParams
 from repro.kernel.cfs import CfsClass, CfsParams
 from repro.kernel.idle import IdleClass
+from repro.kernel.invariants import attach_sanitizer
 from repro.kernel.load_balancer import LoadBalancer, LoadBalancerConfig
 from repro.kernel.perf import PerfEvents, PerfSession
 from repro.kernel.rt import RtClass, RtParams
@@ -141,6 +142,9 @@ class Kernel:
         self.tasks: Dict[int, Task] = {}
         self._boot()
         self.balancer.start()
+        #: The scheduler invariant sanitizer, when ``REPRO_SANITIZE`` asks
+        #: for one (see :mod:`repro.kernel.invariants`); None otherwise.
+        self.sanitizer = attach_sanitizer(self)
 
     # -------------------------------------------------------------- booting
 

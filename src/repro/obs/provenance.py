@@ -101,15 +101,27 @@ def campaign_record(
     cache_misses: int,
     started_at: float,
     finished_at: float,
+    retries: int = 0,
+    timeouts: int = 0,
+    pool_shrinks: int = 0,
+    holes: Optional[List[Dict[str, object]]] = None,
+    resumed: bool = False,
+    replayed: int = 0,
 ) -> Dict[str, object]:
     """Execution metadata for one whole campaign (the ``.meta.json``
     sidecar next to a provenance JSONL).
 
-    Kept *out* of the per-run records on purpose: worker count, cache hits
-    and wall-clock timestamps describe how the campaign was executed, not
-    what it simulated, so the JSONL stays byte-identical between
-    ``--jobs 1`` and ``--jobs N`` and between cold and warm caches — the
-    invariant the CI determinism gate diffs for.
+    Kept *out* of the per-run records on purpose: worker count, cache
+    hits, retries, holes, resume accounting and wall-clock timestamps
+    describe how the campaign was executed, not what it simulated, so the
+    JSONL stays byte-identical between ``--jobs 1`` and ``--jobs N``,
+    between cold and warm caches, and between uninterrupted and
+    crash-resumed campaigns — the invariant the CI determinism and chaos
+    gates diff for.
+
+    ``holes`` lists every repetition salvaged away under ``allow_partial``
+    — run index, seed, spec digest, and the full per-attempt failure
+    history — so a partial campaign's gaps are auditable, never silent.
     """
     import time
 
@@ -123,6 +135,12 @@ def campaign_record(
         "jobs": jobs,
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
+        "retries": retries,
+        "timeouts": timeouts,
+        "pool_shrinks": pool_shrinks,
+        "holes": list(holes or []),
+        "resumed": resumed,
+        "replayed": replayed,
         "started_at": time.strftime(
             "%Y-%m-%dT%H:%M:%S%z", time.localtime(started_at)
         ),

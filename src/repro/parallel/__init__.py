@@ -11,11 +11,18 @@ campaigns re-run without simulating.
 The determinism contract — parallel results byte-identical to serial — is
 enforced by ``tests/test_parallel_engine.py`` and by the CI determinism
 gate, not merely promised here.
+
+On top of the raw engine sits the supervised layer
+(:mod:`repro.parallel.supervisor`): per-run wall-clock timeouts, classified
+retry with seeded exponential backoff, graceful pool degradation, partial
+salvage with explicit holes, and crash-safe journal/resume — the harness
+fault tolerance the 1000-repetition campaigns need to be trustworthy.
 """
 
 from repro.parallel.cache import (
     CACHE_ENV_VAR,
     DEFAULT_CACHE_DIR,
+    QUARANTINE_DIR,
     CacheInfo,
     ResultCache,
 )
@@ -27,18 +34,49 @@ from repro.parallel.engine import (
     resolve_jobs,
 )
 from repro.parallel.jobspec import RunSpec, machine_fingerprint, stable_digest
+from repro.parallel.supervisor import (
+    AttemptFailure,
+    CampaignJournal,
+    NoJournalError,
+    RetryPolicy,
+    RunHole,
+    RunTimeoutError,
+    SupervisedResult,
+    SupervisorConfig,
+    backoff_delay,
+    backoff_schedule,
+    campaign_digest,
+    classify_failure,
+    journal_path_for,
+    supervise_campaign,
+)
 
 __all__ = [
+    "AttemptFailure",
     "CACHE_ENV_VAR",
-    "DEFAULT_CACHE_DIR",
-    "CacheInfo",
+    "CampaignJournal",
     "CampaignRunError",
+    "CacheInfo",
+    "DEFAULT_CACHE_DIR",
+    "NoJournalError",
+    "QUARANTINE_DIR",
     "ResultCache",
+    "RetryPolicy",
+    "RunHole",
     "RunRecord",
     "RunSpec",
+    "RunTimeoutError",
+    "SupervisedResult",
+    "SupervisorConfig",
     "WorkerPoolError",
+    "backoff_delay",
+    "backoff_schedule",
+    "campaign_digest",
+    "classify_failure",
     "execute_campaign",
+    "journal_path_for",
     "machine_fingerprint",
     "resolve_jobs",
     "stable_digest",
+    "supervise_campaign",
 ]

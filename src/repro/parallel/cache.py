@@ -10,8 +10,15 @@ knob, a new package version) misses cleanly because the key moves.
 Layout: ``<root>/<key[:2]>/<key>.pkl`` — a pickled ``{"schema", "version",
 "result", "faults"}`` payload.  Writes are atomic (temp file +
 ``os.replace``) so concurrent campaigns — including the engine's own
-workers' parents — never observe torn entries; a corrupt or unreadable
-entry degrades to a miss, never an error.
+workers' parents — never observe torn entries.  A *missing* entry is a
+plain miss; a *corrupt or schema-mismatched* entry is quarantined: moved
+into ``<root>/quarantine/`` (preserving the evidence for diagnosis) with a
+one-line warning, then treated as a miss.  ``cache info`` reports the
+quarantine count so silent decay is visible.
+
+Two subdirectory names are reserved and never scanned for entries:
+``quarantine`` (this module) and ``journal`` (the supervisor's crash-safe
+campaign checkpoints, :mod:`repro.parallel.supervisor`).
 
 The root defaults to ``.repro-cache`` in the working directory and can be
 moved with the ``REPRO_CACHE_DIR`` environment variable.
@@ -19,6 +26,7 @@ moved with the ``REPRO_CACHE_DIR`` environment variable.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import tempfile
@@ -28,15 +36,28 @@ from typing import Optional, Tuple
 
 from repro import __version__
 
-__all__ = ["CACHE_ENV_VAR", "DEFAULT_CACHE_DIR", "CacheInfo", "ResultCache"]
+__all__ = [
+    "CACHE_ENV_VAR",
+    "DEFAULT_CACHE_DIR",
+    "QUARANTINE_DIR",
+    "CacheInfo",
+    "ResultCache",
+]
+
+log = logging.getLogger(__name__)
 
 #: Environment variable overriding the cache root directory.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 #: Default cache root (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
+#: Where corrupt / schema-mismatched entries are moved instead of deleted.
+QUARANTINE_DIR = "quarantine"
 
 #: Bump when the payload layout changes; older entries then miss.
 _PAYLOAD_SCHEMA = 1
+
+#: Subdirectories of the cache root that hold non-entry data.
+_RESERVED_SUBDIRS = frozenset({QUARANTINE_DIR, "journal"})
 
 
 @dataclass(frozen=True)
@@ -46,6 +67,7 @@ class CacheInfo:
     root: str
     entries: int
     total_bytes: int
+    quarantined: int = 0
 
     def render(self) -> str:
         size = self.total_bytes
@@ -53,11 +75,14 @@ class CacheInfo:
             if size < 1024 or unit == "GiB":
                 break
             size /= 1024
-        return (
+        lines = (
             f"cache root : {self.root}\n"
             f"entries    : {self.entries}\n"
             f"total size : {size:.1f} {unit}"
         )
+        if self.quarantined:
+            lines += f"\nquarantined: {self.quarantined}"
+        return lines
 
 
 class ResultCache:
@@ -69,25 +94,53 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Entries moved to quarantine by this instance.
+        self.quarantines = 0
 
     # ----------------------------------------------------------------- paths
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def quarantine_path_for(self, key: str) -> Path:
+        return self.root / QUARANTINE_DIR / f"{key}.pkl"
+
     # ------------------------------------------------------------ read/write
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a bad entry aside (evidence preserved) and warn once."""
+        dest = self.quarantine_path_for(key)
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            return  # racing campaign already moved/overwrote it
+        self.quarantines += 1
+        log.warning(
+            "cache entry %s is %s — quarantined to %s and re-simulating",
+            key,
+            reason,
+            dest,
+        )
 
     def get(self, key: str) -> Optional[Tuple[object, Optional[dict]]]:
         """The cached ``(result, faults)`` pair for *key*, or None.
 
-        Every failure mode — missing file, torn write, unpicklable blob,
-        foreign schema — is a miss: the caller re-simulates and overwrites.
+        A missing file is a plain miss.  A *present but unusable* entry —
+        torn write, unpicklable blob, foreign schema — is quarantined into
+        ``<root>/quarantine/`` with a one-line warning, then reported as a
+        miss: the caller re-simulates and overwrites, and the bad blob
+        stays available for diagnosis instead of being silently clobbered.
         """
         path = self.path_for(key)
         try:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            self._quarantine(key, path, "unreadable")
             self.misses += 1
             return None
         if (
@@ -95,6 +148,7 @@ class ResultCache:
             or payload.get("schema") != _PAYLOAD_SCHEMA
             or "result" not in payload
         ):
+            self._quarantine(key, path, "schema-mismatched")
             self.misses += 1
             return None
         self.hits += 1
@@ -128,8 +182,13 @@ class ResultCache:
         if not self.root.is_dir():
             return
         for sub in sorted(self.root.iterdir()):
-            if sub.is_dir():
+            if sub.is_dir() and sub.name not in _RESERVED_SUBDIRS:
                 yield from sorted(sub.glob("*.pkl"))
+
+    def _quarantined_paths(self):
+        quarantine = self.root / QUARANTINE_DIR
+        if quarantine.is_dir():
+            yield from sorted(quarantine.glob("*.pkl"))
 
     def info(self) -> CacheInfo:
         entries = 0
@@ -140,12 +199,18 @@ class ResultCache:
                 total += path.stat().st_size
             except OSError:
                 pass
-        return CacheInfo(root=str(self.root), entries=entries, total_bytes=total)
+        quarantined = sum(1 for _ in self._quarantined_paths())
+        return CacheInfo(
+            root=str(self.root),
+            entries=entries,
+            total_bytes=total,
+            quarantined=quarantined,
+        )
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (quarantined included); returns how many."""
         removed = 0
-        for path in self._entry_paths():
+        for path in list(self._entry_paths()) + list(self._quarantined_paths()):
             try:
                 path.unlink()
                 removed += 1

@@ -61,32 +61,71 @@ class RunRecord:
 
 
 class CampaignRunError(RuntimeError):
-    """One repetition failed; names the run so it can be replayed serially."""
+    """One repetition failed; names the run so it can be replayed serially.
 
-    def __init__(self, run_index: int, seed: int, digest: str, cause: BaseException):
+    When raised by the supervised layer, *attempts* carries the full retry
+    history — one ``AttemptFailure`` per failed attempt, each with its error
+    class and :func:`~repro.parallel.supervisor.classify_failure` verdict.
+    """
+
+    def __init__(
+        self,
+        run_index: int,
+        seed: int,
+        digest: str,
+        cause: BaseException,
+        *,
+        attempts: Sequence[object] = (),
+    ):
         self.run_index = run_index
         self.seed = seed
         self.digest = digest
         self.cause = cause
+        self.attempts = tuple(attempts)
+        history = ""
+        if self.attempts:
+            classes = ", ".join(
+                f"{a.error}/{a.classification}" for a in self.attempts
+            )
+            history = f" after {len(self.attempts)} attempt(s) [{classes}]"
         super().__init__(
-            f"campaign run {run_index} failed (seed {seed}, spec digest "
-            f"{digest}): {cause!r} — replay with n_jobs=1 and this seed to "
-            f"debug"
+            f"campaign run {run_index} failed{history} (seed {seed}, spec "
+            f"digest {digest}): {cause!r} — replay with n_jobs=1 and this "
+            f"seed to debug"
         )
 
 
 class WorkerPoolError(RuntimeError):
-    """The pool itself broke (a worker process died mid-run)."""
+    """The pool itself broke (a worker process died mid-run).
 
-    def __init__(self, in_flight: Sequence[RunSpec], cause: BaseException):
+    *pool_size* and *survivors* record the pool's account at failure time:
+    how many worker processes it was built with and how many were still
+    alive when the supervisor gave up.
+    """
+
+    def __init__(
+        self,
+        in_flight: Sequence[RunSpec],
+        cause: BaseException,
+        *,
+        pool_size: Optional[int] = None,
+        survivors: Optional[int] = None,
+    ):
         self.in_flight = list(in_flight)
         self.cause = cause
+        self.pool_size = pool_size
+        self.survivors = survivors
         runs = ", ".join(
             f"run {s.run_index} (seed {s.seed}, digest {s.digest()})"
             for s in self.in_flight
         ) or "none"
+        account = ""
+        if pool_size is not None:
+            alive = "?" if survivors is None else survivors
+            account = f" [{alive}/{pool_size} workers surviving]"
         super().__init__(
-            f"worker process died ({cause!r}); in-flight repetitions: {runs}"
+            f"worker process died ({cause!r}){account}; in-flight "
+            f"repetitions: {runs}"
         )
 
 
@@ -228,7 +267,13 @@ def execute_campaign(
                     if type(exc).__name__ == "BrokenProcessPool":
                         in_flight = [s for s, _ in futures.values()] + [spec]
                         in_flight.sort(key=lambda s: s.run_index)
-                        raise WorkerPoolError(in_flight, exc) from exc
+                        procs = list(getattr(pool, "_processes", {}).values())
+                        raise WorkerPoolError(
+                            in_flight,
+                            exc,
+                            pool_size=getattr(pool, "_max_workers", None),
+                            survivors=sum(1 for p in procs if p.is_alive()),
+                        ) from exc
                     raise CampaignRunError(
                         spec.run_index, spec.seed, digest or spec.digest(), exc
                     ) from exc

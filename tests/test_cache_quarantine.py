@@ -1,0 +1,103 @@
+"""Cache quarantine: bad entries are moved aside, warned about, and counted.
+
+Missing entries stay plain misses — quarantine is strictly for *present but
+unusable* blobs (torn writes, foreign pickles, old schemas), whose evidence
+must survive for diagnosis instead of being silently overwritten.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.parallel import QUARANTINE_DIR, ResultCache
+
+KEY = "ab" + "0" * 30
+KEY2 = "cd" + "1" * 30
+
+
+def test_missing_entry_is_plain_miss_no_quarantine(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    assert cache.get(KEY) is None
+    assert cache.misses == 1
+    assert cache.quarantines == 0
+    assert not (tmp_path / QUARANTINE_DIR).exists()
+
+
+def test_corrupt_entry_quarantined_and_warned(tmp_path, caplog):
+    cache = ResultCache(str(tmp_path))
+    cache.put(KEY, {"x": 1})
+    path = cache.path_for(KEY)
+    path.write_bytes(b"not a pickle at all")
+    with caplog.at_level(logging.WARNING, logger="repro.parallel.cache"):
+        assert cache.get(KEY) is None
+    assert cache.quarantines == 1
+    assert not path.exists()  # moved, not deleted
+    assert cache.quarantine_path_for(KEY).read_bytes() == b"not a pickle at all"
+    assert any("quarantined" in r.message for r in caplog.records)
+    # Re-simulating overwrites cleanly; the evidence stays put.
+    cache.put(KEY, {"x": 2})
+    assert cache.get(KEY) == ({"x": 2}, None)
+    assert cache.quarantine_path_for(KEY).exists()
+
+
+def test_schema_mismatch_quarantined(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    path = cache.path_for(KEY)
+    path.parent.mkdir(parents=True)
+    with open(path, "wb") as fh:
+        pickle.dump({"schema": 999, "result": 1}, fh)
+    assert cache.get(KEY) is None
+    assert cache.quarantines == 1
+    assert cache.quarantine_path_for(KEY).exists()
+
+
+def test_info_counts_quarantined_separately(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(KEY, 1)
+    cache.put(KEY2, 2)
+    cache.path_for(KEY).write_bytes(b"garbage")
+    cache.get(KEY)
+    info = cache.info()
+    assert info.entries == 1  # only the healthy entry
+    assert info.quarantined == 1
+    assert "quarantined: 1" in info.render()
+    # The quarantined line only appears when there is something to report.
+    cache.clear()
+    lines = cache.info().render().splitlines()
+    assert not any(line.startswith("quarantined") for line in lines)
+
+
+def test_journal_files_never_counted_as_entries(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(KEY, 1)
+    journal = tmp_path / "journal"
+    journal.mkdir()
+    (journal / "deadbeef.jsonl").write_text('{"record": "journal"}\n')
+    info = cache.info()
+    assert info.entries == 1
+    assert info.quarantined == 0
+
+
+def test_clear_removes_quarantined_too(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(KEY, 1)
+    cache.path_for(KEY).write_bytes(b"garbage")
+    cache.get(KEY)
+    cache.put(KEY2, 2)
+    assert cache.clear() == 2  # one healthy + one quarantined
+    assert cache.info().entries == 0
+    assert cache.info().quarantined == 0
+
+
+def test_cache_info_cli_shows_quarantine_count(tmp_path, capsys):
+    cache = ResultCache(str(tmp_path))
+    cache.put(KEY, 1)
+    cache.path_for(KEY).write_bytes(b"garbage")
+    cache.get(KEY)
+    assert cli_main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "quarantined: 1" in out

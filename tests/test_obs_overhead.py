@@ -23,7 +23,10 @@ import repro.obs.export as _obs_export
 import repro.sim.trace as _sim_trace
 
 
-def test_default_kernel_has_no_observers():
+def test_default_kernel_has_no_observers(monkeypatch):
+    # The invariant sanitizer is an explicitly opted-in observer; pin its
+    # env switch off so this test describes the true default.
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
     k = Kernel(power6_js22(), KernelConfig.stock(), seed=0)
     assert k.core.switch_hooks == []
     assert k.core.wakeup_hooks == []
@@ -34,9 +37,10 @@ def test_default_kernel_has_no_observers():
     assert k.perf.migration_trace is None
 
 
-def test_recorders_are_not_monkey_patched():
+def test_recorders_are_not_monkey_patched(monkeypatch):
     """attach_trace subscribes through observer lists; the bound recorder
     methods stay the class's own functions."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
     k = Kernel(power6_js22(), KernelConfig.stock(), seed=0)
     assert k.perf.record_migration.__func__ is PerfEvents.record_migration
     assert (

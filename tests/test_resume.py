@@ -1,0 +1,125 @@
+"""Crash/resume byte-identity, property-tested over the kill index.
+
+The chaos CI job SIGKILLs a real campaign; here the crash is simulated by
+raising out of the progress callback after K completions — same effect on
+the journal (only fsync'd ``done`` lines survive) without the process
+machinery, so Hypothesis can sweep K cheaply.  Temp directories are managed
+manually because Hypothesis re-enters the test many times per fixture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.spmd import Program
+from repro.experiments.runner import run_campaign
+from repro.parallel import RetryPolicy, backoff_delay
+from repro.topology.presets import generic_smp
+from repro.units import msecs
+
+N_RUNS = 6
+
+
+def _tiny_program() -> Program:
+    return Program.iterative(
+        name="res", n_iters=2, iter_work=msecs(1), init_ops=1, finalize_ops=0
+    )
+
+
+class _SimulatedCrash(Exception):
+    """Stands in for SIGKILL: the campaign dies between two repetitions."""
+
+
+def _run(tmp: str, *, kill_after=None, resume=False, n_jobs=1):
+    prov = os.path.join(tmp, "prov.jsonl")
+    progress = None
+    if kill_after is not None:
+        def progress(done, total):
+            if done >= kill_after:
+                raise _SimulatedCrash(done)
+    result = run_campaign(
+        _tiny_program, 4, "stock", N_RUNS, base_seed=5,
+        machine_factory=lambda: generic_smp(4),
+        provenance_path=prov, n_jobs=n_jobs,
+        use_cache=True, cache_dir=os.path.join(tmp, "cache"),
+        progress=progress, resume=resume,
+    )
+    return prov, result
+
+
+_GOLDEN = {}
+
+
+def _golden_bytes() -> bytes:
+    """Provenance of one uninterrupted serial campaign (computed once)."""
+    if "prov" not in _GOLDEN:
+        tmp = tempfile.mkdtemp(prefix="repro-golden-")
+        try:
+            prov, result = _run(tmp)
+            _GOLDEN["prov"] = open(prov, "rb").read()
+            _GOLDEN["times"] = result.app_times_s()
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return _GOLDEN["prov"]
+
+
+@settings(
+    max_examples=8, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    kill_after=st.integers(min_value=1, max_value=N_RUNS - 1),
+    n_jobs=st.sampled_from([1, 4]),
+)
+def test_crash_resume_byte_identical_at_any_kill_index(kill_after, n_jobs):
+    golden = _golden_bytes()
+    tmp = tempfile.mkdtemp(prefix="repro-resume-")
+    try:
+        with pytest.raises(_SimulatedCrash):
+            _run(tmp, kill_after=kill_after, n_jobs=n_jobs)
+        prov, result = _run(tmp, resume=True, n_jobs=n_jobs)
+        assert open(prov, "rb").read() == golden
+        assert result.app_times_s() == _GOLDEN["times"]
+        assert result.replayed >= 1  # something genuinely came from the journal
+        meta = json.load(open(prov + ".meta.json"))
+        assert meta["resumed"] is True
+        assert meta["replayed"] == result.replayed
+        assert meta["holes"] == []
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def test_uninterrupted_resume_replays_everything():
+    tmp = tempfile.mkdtemp(prefix="repro-resume-")
+    try:
+        prov_first, _ = _run(tmp)
+        prov, result = _run(tmp, resume=True)
+        assert result.replayed == N_RUNS
+        assert open(prov, "rb").read() == _golden_bytes()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    attempt=st.integers(min_value=1, max_value=12),
+)
+def test_backoff_is_pure_and_within_jitter_band(seed, attempt):
+    policy = RetryPolicy()
+    a = backoff_delay(policy, seed, attempt)
+    assert a == backoff_delay(policy, seed, attempt)
+    base = min(
+        policy.backoff_max_s,
+        policy.backoff_base_s * policy.backoff_factor ** (attempt - 1),
+    )
+    lo = base * (1.0 - policy.jitter_frac)
+    hi = base * (1.0 + policy.jitter_frac)
+    assert lo <= a <= hi

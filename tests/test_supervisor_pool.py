@@ -1,0 +1,130 @@
+"""Pool-mode supervision: hung workers, worker death, degradation.
+
+Workers here are module-level functions (optionally bound with
+``functools.partial``) because they cross the process boundary by pickling.
+Cross-attempt state lives in flag files under a tmp directory — worker
+processes share no memory with the test.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import partial
+
+import pytest
+
+from repro.apps.spmd import Program
+from repro.experiments.runner import build_campaign_specs
+from repro.parallel import (
+    RetryPolicy,
+    SupervisorConfig,
+    WorkerPoolError,
+    supervise_campaign,
+)
+from repro.topology.presets import generic_smp
+from repro.units import msecs
+
+
+def _tiny_program() -> Program:
+    return Program.iterative(
+        name="pool", n_iters=2, iter_work=msecs(1), init_ops=1, finalize_ops=0
+    )
+
+
+def _specs(n_runs: int, base_seed: int = 0):
+    return build_campaign_specs(
+        _tiny_program, 4, "stock", n_runs,
+        base_seed=base_seed, machine_factory=lambda: generic_smp(4),
+    )
+
+
+def _ok(spec):
+    return spec.seed * 2, None
+
+
+def _hang_once(flag_dir: str, spec):
+    """Run 1 wedges for 30s on its first attempt only (flag file marks it)."""
+    flag = os.path.join(flag_dir, f"hung-{spec.run_index}")
+    if spec.run_index == 1 and not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        time.sleep(30)
+    return spec.seed, None
+
+
+def _die_once(flag_dir: str, spec):
+    """Run 1 hard-kills its worker process on the first attempt only."""
+    flag = os.path.join(flag_dir, f"died-{spec.run_index}")
+    if spec.run_index == 1 and not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        os._exit(1)  # simulates an OOM-killed / segfaulted worker
+    return spec.seed, None
+
+
+def _die_always(spec):
+    os._exit(1)
+
+
+def test_pool_matches_serial_records(tmp_path):
+    specs = _specs(6, base_seed=11)
+    serial = supervise_campaign(specs, _ok, n_jobs=1)
+    pooled = supervise_campaign(specs, _ok, n_jobs=3)
+    key = lambda r: (r.run_index, r.seed, r.digest, r.result)
+    assert [key(r) for r in serial.records] == [key(r) for r in pooled.records]
+
+
+def test_hung_worker_is_killed_retried_and_campaign_completes(tmp_path):
+    specs = _specs(4, base_seed=4)
+    result = supervise_campaign(
+        specs, partial(_hang_once, str(tmp_path)), n_jobs=2,
+        config=SupervisorConfig(timeout_s=1.0),
+    )
+    assert [r.run_index for r in result.records] == [0, 1, 2, 3]
+    assert result.timeouts == 1
+    assert result.retries >= 1
+    assert not result.holes
+
+
+def test_dead_worker_breaks_pool_requeues_and_completes(tmp_path):
+    specs = _specs(4, base_seed=7)
+    result = supervise_campaign(
+        specs, partial(_die_once, str(tmp_path)), n_jobs=2,
+        config=SupervisorConfig(retry=RetryPolicy(max_retries=3)),
+    )
+    assert [r.run_index for r in result.records] == [0, 1, 2, 3]
+    assert [r.result for r in result.records] == [s.seed for s in specs]
+    assert result.retries >= 1
+    assert not result.holes
+
+
+def test_worker_pool_error_reports_pool_size_and_survivors():
+    specs = _specs(3, base_seed=9)
+    with pytest.raises(WorkerPoolError) as excinfo:
+        supervise_campaign(
+            specs, _die_always, n_jobs=2,
+            config=SupervisorConfig(retry=RetryPolicy(max_retries=0)),
+        )
+    err = excinfo.value
+    assert err.pool_size == 2
+    assert err.survivors is not None
+    assert "workers surviving" in str(err)
+
+
+def test_repeated_death_shrinks_pool_then_salvages(tmp_path):
+    specs = _specs(4, base_seed=3)
+    result = supervise_campaign(
+        specs, _die_always, n_jobs=4,
+        config=SupervisorConfig(
+            retry=RetryPolicy(max_retries=2, backoff_base_s=0.01),
+            allow_partial=True,
+        ),
+    )
+    # Every repetition exhausted its retries against a pool that always
+    # dies: the campaign survives as all-holes, with the shrink recorded.
+    assert result.records == []
+    assert sorted(result.hole_indices) == [0, 1, 2, 3]
+    assert result.pool_shrinks >= 1
+    for hole in result.holes:
+        assert all(a.classification == "transient" for a in hole.attempts)
