@@ -45,11 +45,17 @@ byte-identical to a serial run at any worker count.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import signal
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from random import Random
@@ -99,6 +105,25 @@ _TRANSIENT_NAMES = frozenset(
     {"BrokenProcessPool", "BrokenExecutor", "TimeoutError", "RunTimeoutError"}
 )
 
+#: ``OSError`` errnos plausibly raised by the *harness* (fork pressure, fd
+#: exhaustion, interrupted syscalls, pool pipes torn by a dying worker)
+#: rather than by simulation code.  Any other ``OSError`` — e.g. a
+#: ``FileNotFoundError`` for a missing input — is a property of the spec and
+#: classifies as deterministic, so it fails fast instead of burning the
+#: transient retry budget.
+_TRANSIENT_ERRNOS = frozenset(
+    {
+        errno.EAGAIN,
+        errno.ENOMEM,
+        errno.EMFILE,
+        errno.ENFILE,
+        errno.EINTR,
+        errno.ECHILD,
+        errno.EPIPE,
+        errno.ECONNRESET,
+    }
+)
+
 
 class RunTimeoutError(RuntimeError):
     """A repetition exceeded its per-run wall-clock budget."""
@@ -136,11 +161,14 @@ def classify_failure(exc: BaseException) -> str:
       a scheduler correctness violation.  Never retried.
     * ``"transient"`` — the harness failed, not the simulation: a worker
       process died (``BrokenProcessPool``), the run timed out, or the OS
-      refused a resource (``OSError``).  Retried up to
-      :attr:`RetryPolicy.max_retries` times.
-    * ``"deterministic"`` — everything else.  The simulation is a pure
-      function of the spec, so the same seed and digest will fail the same
-      way; one confirmation retry, then fail fast.
+      refused a *harness-plausible* resource (an ``OSError`` whose errno is
+      in :data:`_TRANSIENT_ERRNOS` — EAGAIN, ENOMEM, EMFILE, …).  Retried
+      up to :attr:`RetryPolicy.max_retries` times.
+    * ``"deterministic"`` — everything else, including ``OSError``\\ s the
+      simulation raises for conditions of the spec itself (a missing input
+      file is ENOENT every time).  The simulation is a pure function of the
+      spec, so the same seed and digest will fail the same way; one
+      confirmation retry, then fail fast.
     """
     from repro.kernel.invariants import InvariantViolation
 
@@ -148,8 +176,10 @@ def classify_failure(exc: BaseException) -> str:
         return FATAL
     if type(exc).__name__ == "InvariantViolation":  # crossed a pickle boundary
         return FATAL
-    if isinstance(exc, (RunTimeoutError, OSError)):
+    if isinstance(exc, RunTimeoutError):
         return TRANSIENT
+    if isinstance(exc, OSError):
+        return TRANSIENT if exc.errno in _TRANSIENT_ERRNOS else DETERMINISTIC
     if type(exc).__name__ in _TRANSIENT_NAMES:
         return TRANSIENT
     return DETERMINISTIC
@@ -513,6 +543,11 @@ class _Supervisor:
         self.sleep = sleep
 
         self.result = SupervisedResult(records=[])
+        # Pool-path parking lots: runs waiting out their backoff between
+        # redispatches, and runs requeued by a pool break for the next pool
+        # incarnation.
+        self._deferred: List[_PendingRun] = []
+        self._waiting: List[_PendingRun] = []
         self._pending: Dict[int, RunRecord] = {}
         self._holes_by_index: Dict[int, RunHole] = {}
         self._next_index = specs[0].run_index if specs else 0
@@ -685,7 +720,11 @@ class _Supervisor:
         return self.config.timeout_s * (self.chunk_factor + self.config.kill_grace)
 
     def _kill_pool(self, pool: ProcessPoolExecutor) -> int:
-        """Forcibly terminate a pool's worker processes; returns survivors."""
+        """Forcibly terminate a pool's worker processes; returns survivors.
+
+        SIGTERM is asynchronous, so each process gets a short ``join`` to
+        actually exit before it is counted — otherwise every worker would
+        still look alive here and the survivor count would be noise."""
         processes = list(getattr(pool, "_processes", {}).values())
         for proc in processes:
             try:
@@ -693,6 +732,12 @@ class _Supervisor:
             except OSError:  # pragma: no cover - already gone
                 pass
         pool.shutdown(wait=False, cancel_futures=True)
+        deadline = time.monotonic() + 1.0
+        for proc in processes:
+            try:
+                proc.join(max(deadline - time.monotonic(), 0.05))
+            except (OSError, ValueError):  # pragma: no cover - already reaped
+                pass
         return sum(1 for proc in processes if proc.is_alive())
 
     def _run_pool(self, to_run: List[_PendingRun]) -> None:
@@ -742,9 +787,7 @@ class _Supervisor:
                     if not done and hard_deadline is not None:
                         oldest = min(t for _, t in futures.values())
                         if time.monotonic() - oldest > hard_deadline:
-                            broke = self._break_pool(
-                                pool, futures, None, killed=True
-                            )
+                            broke = self._break_pool(pool, futures, None)
                             break
                         continue
                     for future in done:
@@ -783,11 +826,10 @@ class _Supervisor:
                     self.result.pool_shrinks += 1
             else:
                 consecutive_breaks = 0
-            queue = []
-
-    # The pool loop parks backoff-waiting runs here between pool incarnations.
-    _deferred: List[_PendingRun]
-    _waiting: List[_PendingRun]
+            # On a clean drain the queue is already empty; after a break it
+            # still holds the unsubmitted remainder of the window, which the
+            # next pool incarnation picks up alongside the requeued
+            # in-flight runs — nothing is dropped.
 
     def _has_waiting(self) -> bool:
         return bool(self._deferred) or bool(self._waiting)
@@ -797,34 +839,49 @@ class _Supervisor:
         pool: ProcessPoolExecutor,
         futures: Dict[object, Tuple[_PendingRun, float]],
         cause: Optional[BaseException],
-        *,
-        killed: bool = False,
     ) -> bool:
         """A worker died (or the supervisor killed a wedged pool): charge
-        every in-flight run one transient failure and requeue the rest."""
+        every in-flight run one transient failure and requeue the rest.
+
+        On a hard-deadline kill (*cause* is None) each run is charged an
+        error of its own: a :class:`RunTimeoutError` carrying *its* run
+        index and seed when that run actually outlived the deadline, and a
+        plain pool-killed :class:`BrokenExecutor` for healthy co-resident
+        runs — so no attempt history records another run's timeout and
+        ``result.timeouts`` counts only true deadline breaches."""
         pool_size = getattr(pool, "_max_workers", 0)
+        now = time.monotonic()  # before the kill's join grace distorts ages
         survivors = self._kill_pool(pool)
         in_flight = sorted(
-            (run for run, _ in futures.values()), key=lambda r: r.spec.run_index
+            futures.values(), key=lambda item: item[0].spec.run_index
         )
         futures.clear()
-        if cause is None:
-            cause = RunTimeoutError(
-                in_flight[0].spec.run_index if in_flight else -1,
-                in_flight[0].spec.seed if in_flight else -1,
-                self.config.timeout_s or 0.0,
-            )
-        for run in in_flight:
+        hard_deadline = self._hard_deadline()
+        for run, dispatched in in_flight:
+            exc: BaseException
+            if cause is not None:
+                exc = cause
+            elif hard_deadline is None or now - dispatched > hard_deadline:
+                exc = RunTimeoutError(
+                    run.spec.run_index,
+                    run.spec.seed,
+                    self.config.timeout_s or 0.0,
+                )
+            else:
+                exc = BrokenExecutor(
+                    "worker pool killed after a co-resident run breached "
+                    "its hard deadline"
+                )
             try:
-                retry = self._register_failure(run, cause)
-            except CampaignRunError as exc:
+                retry = self._register_failure(run, exc)
+            except CampaignRunError as final:
                 # Wrap with the pool's account so the operator sees both.
                 raise WorkerPoolError(
-                    [r.spec for r in in_flight],
-                    cause,
+                    [r.spec for r, _ in in_flight],
+                    exc,
                     pool_size=pool_size,
                     survivors=survivors,
-                ) from exc
+                ) from final
             if retry:
                 self._waiting.append(run)
         return True
@@ -894,8 +951,6 @@ def supervise_campaign(
         chunk_factor=chunk_factor,
         sleep=sleep,
     )
-    supervisor._deferred = []
-    supervisor._waiting = []
     try:
         return supervisor.run()
     finally:

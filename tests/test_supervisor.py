@@ -7,6 +7,7 @@ degradation — lives in ``test_supervisor_pool.py``.
 
 from __future__ import annotations
 
+import errno
 import json
 
 import pytest
@@ -56,9 +57,19 @@ def _ok(spec):
 def test_classify_failure_matrix():
     assert classify_failure(InvariantViolation("class_order", "x")) == "fatal"
     assert classify_failure(RunTimeoutError(0, 1, 2.0)) == "transient"
-    assert classify_failure(OSError("fork failed")) == "transient"
+    assert classify_failure(OSError(errno.EAGAIN, "fork failed")) == "transient"
+    assert classify_failure(OSError(errno.ENOMEM, "oom")) == "transient"
     assert classify_failure(ValueError("sim bug")) == "deterministic"
     assert classify_failure(KeyError("missing")) == "deterministic"
+
+
+def test_classify_failure_oserror_from_simulation_is_deterministic():
+    # An OSError that is a property of the spec (missing input, bad perms,
+    # no errno at all) must fail fast, not burn the transient retry budget.
+    missing = FileNotFoundError(errno.ENOENT, "missing input")
+    assert classify_failure(missing) == "deterministic"
+    assert classify_failure(PermissionError(errno.EACCES, "x")) == "deterministic"
+    assert classify_failure(OSError("no errno")) == "deterministic"
 
 
 def test_classify_failure_by_name_for_pickled_types():
@@ -150,7 +161,7 @@ def test_transient_failure_retries_then_succeeds():
         if spec.run_index == 1:
             calls["n"] += 1
             if calls["n"] <= 2:
-                raise OSError("transient harness fault")
+                raise OSError(errno.EAGAIN, "transient harness fault")
         return spec.seed, None
 
     result = supervise_campaign(

@@ -9,6 +9,7 @@ processes share no memory with the test.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from functools import partial
 
@@ -67,6 +68,19 @@ def _die_always(spec):
     os._exit(1)
 
 
+def _hang_hard_once(flag_dir: str, spec):
+    """Run 1 wedges with SIGALRM blocked on its first attempt only — the
+    in-worker alarm cannot fire, so only the supervisor's hard deadline
+    (pool kill) can unstick the campaign."""
+    flag = os.path.join(flag_dir, f"hard-{spec.run_index}")
+    if spec.run_index == 1 and not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+        time.sleep(30)
+    return spec.seed, None
+
+
 def test_pool_matches_serial_records(tmp_path):
     specs = _specs(6, base_seed=11)
     serial = supervise_campaign(specs, _ok, n_jobs=1)
@@ -110,6 +124,37 @@ def test_worker_pool_error_reports_pool_size_and_survivors():
     assert err.pool_size == 2
     assert err.survivors is not None
     assert "workers surviving" in str(err)
+
+
+def test_pool_break_does_not_drop_unsubmitted_runs(tmp_path):
+    # Regression: with more runs than the submission window
+    # (chunk_factor * jobs), a pool break used to discard the unsubmitted
+    # remainder of the queue and terminate with silently truncated records.
+    specs = _specs(6, base_seed=13)
+    result = supervise_campaign(
+        specs, partial(_die_once, str(tmp_path)), n_jobs=2, chunk_factor=1,
+        config=SupervisorConfig(retry=RetryPolicy(max_retries=3)),
+    )
+    assert [r.run_index for r in result.records] == [0, 1, 2, 3, 4, 5]
+    assert [r.result for r in result.records] == [s.seed for s in specs]
+    assert not result.holes
+
+
+def test_hard_deadline_kill_charges_only_the_wedged_run(tmp_path):
+    # A worker stuck with SIGALRM blocked can only be unstuck by the
+    # supervisor's hard-deadline pool kill; the synthesized timeout must
+    # carry the wedged run's own index/seed and count exactly one timeout
+    # (co-resident runs are requeued as pool casualties, not timeouts).
+    specs = _specs(4, base_seed=17)
+    result = supervise_campaign(
+        specs, partial(_hang_hard_once, str(tmp_path)), n_jobs=2,
+        chunk_factor=1,
+        config=SupervisorConfig(timeout_s=0.3, kill_grace=1.0),
+    )
+    assert [r.run_index for r in result.records] == [0, 1, 2, 3]
+    assert result.timeouts == 1
+    assert result.retries >= 1
+    assert not result.holes
 
 
 def test_repeated_death_shrinks_pool_then_salvages(tmp_path):
