@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-faults test-sanitize lint bench report figures examples clean
+.PHONY: install test test-faults test-sanitize lint bench perf perf-gate report figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -39,6 +39,16 @@ bench:
 # Paper-fidelity regeneration (slow): 1000 repetitions per configuration.
 bench-full:
 	REPRO_BENCH_RUNS=1000 $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Sim-core throughput suite: measure and write BENCH_simcore.json.
+perf:
+	$(PY) -m benchmarks.perf.simcore --out benchmarks/out/BENCH_simcore.json
+
+# The CI regression gate: measure and compare against the committed
+# baseline (fails on >15% calibration-normalized slowdown; tune with
+# REPRO_PERF_TOLERANCE).
+perf-gate:
+	$(PY) -m pytest benchmarks/perf/test_perf_gate.py -q
 
 report:
 	$(PY) -m repro.experiments.report 60 7 > EXPERIMENTS.md

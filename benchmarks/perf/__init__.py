@@ -1,0 +1,6 @@
+"""Sim-core performance suite (micro + macro) with a persistent baseline.
+
+See :mod:`benchmarks.perf.simcore` for the measurement library and the
+``python -m benchmarks.perf.simcore`` CLI, and ``baseline/BENCH_simcore.json``
+for the committed reference the CI perf gate compares against.
+"""

@@ -1,0 +1,40 @@
+"""The CI perf gate: measure the sim-core suite and compare against the
+committed baseline (``benchmarks/perf/baseline/BENCH_simcore.json``).
+
+Run explicitly (it is outside the tier-1 ``testpaths``)::
+
+    python -m pytest benchmarks/perf/test_perf_gate.py -q
+
+Scores are calibration-normalized (see :mod:`benchmarks.perf.simcore`), so
+the committed baseline gates correctly on hosts of different speeds.  Set
+``REPRO_PERF_TOLERANCE`` to loosen the default 15% budget on very noisy
+runners, and ``REPRO_PERF_OUT`` to also write the measured document (the CI
+job uploads it as the run's BENCH_simcore.json artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks.perf import simcore
+
+BASELINE = Path(__file__).parent / "baseline" / "BENCH_simcore.json"
+
+
+def test_simcore_perf_gate() -> None:
+    assert BASELINE.is_file(), (
+        f"missing committed baseline {BASELINE}; regenerate with "
+        "`python -m benchmarks.perf.simcore --out benchmarks/perf/baseline/BENCH_simcore.json`"
+    )
+    doc = simcore.collect()
+    out = os.environ.get("REPRO_PERF_OUT")
+    if out:
+        os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    baseline = json.loads(BASELINE.read_text())
+    failures = simcore.compare(doc, baseline)
+    assert not failures, "perf regressions past tolerance:\n" + "\n".join(failures)

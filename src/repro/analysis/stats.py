@@ -10,14 +10,24 @@ import numpy as np
 __all__ = ["RunStatistics", "summarize", "variation_pct"]
 
 
-def variation_pct(values: Sequence[float]) -> float:
-    """The paper's variation metric: ``(max - min) / min * 100`` (§V fn. 8)."""
+def variation_pct(values: Sequence[float], *, strict: bool = True) -> float:
+    """The paper's variation metric: ``(max - min) / min * 100`` (§V fn. 8).
+
+    A *time* metric is strictly positive, so a non-positive minimum is a
+    caller bug and raises (``strict=True``, the default).  A *counter*
+    metric (cpu-migrations, context-switches, ...) can legitimately reach
+    its structural minimum of 0; with ``strict=False`` the metric is then
+    defined as 0.0 when all values are equal (no variation) and NaN
+    otherwise (relative variation against a zero floor is meaningless, but
+    the campaign must still summarize)."""
     if len(values) == 0:
         raise ValueError("no values")
     lo = min(values)
     hi = max(values)
     if lo <= 0:
-        raise ValueError("variation is undefined for non-positive minima")
+        if strict:
+            raise ValueError("variation is undefined for non-positive minima")
+        return 0.0 if hi == lo else float("nan")
     return (hi - lo) / lo * 100.0
 
 
@@ -44,8 +54,15 @@ class RunStatistics:
         )
 
 
-def summarize(values: Sequence[float]) -> RunStatistics:
-    """Summarize a campaign metric."""
+def summarize(values: Sequence[float], *, metric: str = "time") -> RunStatistics:
+    """Summarize a campaign metric.
+
+    *metric* selects the variation semantics: ``"time"`` (default) keeps
+    the strict positive-minimum contract, ``"count"`` admits a structural
+    minimum of 0 (see :func:`variation_pct`) so a campaign where e.g.
+    cpu-migrations bottom out at 0 still summarizes."""
+    if metric not in ("time", "count"):
+        raise ValueError(f"metric must be 'time' or 'count', not {metric!r}")
     if len(values) == 0:
         raise ValueError("no values to summarize")
     arr = np.asarray(values, dtype=float)
@@ -58,7 +75,7 @@ def summarize(values: Sequence[float]) -> RunStatistics:
         # mean([1.9]*3) < 1.9), breaking the invariant consumers rely on.
         mean=min(max(float(arr.mean()), lo), hi),
         maximum=hi,
-        variation=variation_pct(values),
+        variation=variation_pct(values, strict=metric == "time"),
         std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
         median=float(np.median(arr)),
         p95=float(np.percentile(arr, 95)),

@@ -496,8 +496,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"{campaign.label} under {args.regime}, {args.runs} runs:")
     if campaign.results:
         times = summarize(campaign.app_times_s())
-        migs = summarize([float(v) for v in campaign.migrations()])
-        switches = summarize([float(v) for v in campaign.context_switches()])
+        migs = summarize([float(v) for v in campaign.migrations()], metric="count")
+        switches = summarize([float(v) for v in campaign.context_switches()], metric="count")
         print(
             f"  time  min {times.minimum:.2f}  avg {times.mean:.2f}  "
             f"max {times.maximum:.2f}  var {times.variation:.2f}%"

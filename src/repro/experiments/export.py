@@ -74,10 +74,10 @@ def campaign_to_json(campaign: CampaignResult) -> str:
                 "variation_pct": times.variation,
             },
             "cpu_migrations_avg": summarize(
-                [float(v) for v in campaign.migrations()]
+                [float(v) for v in campaign.migrations()], metric="count"
             ).mean,
             "context_switches_avg": summarize(
-                [float(v) for v in campaign.context_switches()]
+                [float(v) for v in campaign.context_switches()], metric="count"
             ).mean,
         },
         "runs": [

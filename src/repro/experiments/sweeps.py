@@ -137,9 +137,11 @@ def _campaign_point(
         regime=regime,
         time_mean_s=times.mean,
         time_variation_pct=times.variation,
-        migrations_mean=summarize([float(v) for v in campaign.migrations()]).mean,
+        migrations_mean=summarize(
+            [float(v) for v in campaign.migrations()], metric="count"
+        ).mean,
         context_switches_mean=summarize(
-            [float(v) for v in campaign.context_switches()]
+            [float(v) for v in campaign.context_switches()], metric="count"
         ).mean,
     )
 

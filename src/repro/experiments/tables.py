@@ -154,9 +154,11 @@ def table1(
         rows.append(
             SchedulerNoiseRow(
                 label=campaign.label,
-                migrations=summarize([float(v) for v in campaign.migrations()]),
+                migrations=summarize(
+                    [float(v) for v in campaign.migrations()], metric="count"
+                ),
                 context_switches=summarize(
-                    [float(v) for v in campaign.context_switches()]
+                    [float(v) for v in campaign.context_switches()], metric="count"
                 ),
             )
         )
@@ -268,8 +270,10 @@ class PolicyComparison:
         c = self.per_regime[regime]
         return {
             "time": summarize(c.app_times_s()),
-            "migrations": summarize([float(v) for v in c.migrations()]),
-            "context_switches": summarize([float(v) for v in c.context_switches()]),
+            "migrations": summarize([float(v) for v in c.migrations()], metric="count"),
+            "context_switches": summarize(
+                [float(v) for v in c.context_switches()], metric="count"
+            ),
         }
 
     def render(self) -> str:

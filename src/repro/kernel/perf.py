@@ -138,6 +138,10 @@ class PerfEvents:
         #: that actually moved a task.  Always counted (two plain ints).
         self.balance_attempts = 0
         self.balance_pulls = 0
+        #: True once any opt-in breakdown is enabled.  The recorders test
+        #: this single flag on their fast path so a campaign with no
+        #: observers pays one branch per event, not one per breakdown.
+        self._detailed = False
 
     # ----------------------------------------------------------- enablement
 
@@ -151,12 +155,14 @@ class PerfEvents:
         """Start the per-scheduling-class breakdown (idempotent)."""
         if self.class_counters is None:
             self.class_counters = {}
+        self._detailed = True
         return self.class_counters
 
     def enable_task_accounting(self) -> Dict[int, TaskCounters]:
         """Start the per-task breakdown (idempotent)."""
         if self.task_counters is None:
             self.task_counters = {}
+        self._detailed = True
         return self.task_counters
 
     # -------------------------------------------------------------- lookups
@@ -193,6 +199,8 @@ class PerfEvents:
         attributes the event in the optional breakdowns."""
         self.context_switches += 1
         self.per_cpu_context_switches[cpu_id] += 1
+        if not self._detailed:
+            return
         if self.class_counters is not None:
             if class_name is None and next_task is not None:
                 class_name = policy_class_name(next_task.policy)
@@ -213,7 +221,7 @@ class PerfEvents:
         self.per_cpu_migrations[dst_cpu] += 1
         if self.migration_trace is not None:
             self.migration_trace.append((time, src_cpu, dst_cpu, pid))
-        if task is not None:
+        if self._detailed and task is not None:
             if self.class_counters is not None:
                 self._class(policy_class_name(task.policy)).cpu_migrations += 1
             if self.task_counters is not None:
@@ -224,6 +232,8 @@ class PerfEvents:
 
     def record_voluntary_switch(self, task: Task) -> None:
         """The running *task* blocked (a voluntary switch)."""
+        if not self._detailed:
+            return
         if self.class_counters is not None:
             self._class(policy_class_name(task.policy)).voluntary_switches += 1
         if self.task_counters is not None:
@@ -232,6 +242,8 @@ class PerfEvents:
     def record_preemption(self, victim: Task, preemptor_class: str) -> None:
         """*victim* was involuntarily displaced by a task of
         *preemptor_class* (the §V asymmetry: who steals time from whom)."""
+        if not self._detailed:
+            return
         if self.class_counters is not None:
             entry = self._class(policy_class_name(victim.policy))
             entry.involuntary_switches += 1

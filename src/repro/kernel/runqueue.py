@@ -27,6 +27,18 @@ class CpuRunqueue:
             cls.name: cls.new_queue(cpu_id) for cls in classes
         }
         self._class_by_name: Dict[str, SchedClass] = {c.name: c for c in classes}
+        #: Policy -> serving class, precomputed so the per-event hot path
+        #: (update_curr, pick, preemption checks) never walks the class
+        #: list.  ``setdefault`` preserves the priority-order semantics of
+        #: the old linear scan: the highest-priority class serving a policy
+        #: wins.
+        self._class_by_policy: Dict[str, SchedClass] = {}
+        for cls in classes:
+            for policy in cls.policies:
+                self._class_by_policy.setdefault(policy, cls)
+        self._rank_by_name: Dict[str, int] = {
+            cls.name: rank for rank, cls in enumerate(classes)
+        }
         #: Currently running task (the idle task when the CPU is idle).
         self.curr: Optional[Task] = None
         #: Simulated time at which ``curr`` was last put on the CPU /
@@ -35,28 +47,30 @@ class CpuRunqueue:
         #: The pending timer event for this CPU (slice expiry or segment
         #: completion), owned by the scheduler core.
         self.timer_event = None
-        #: µs of cache-disturbing execution that has happened on this CPU's
-        #: *core* — the lazy eviction clock (see WarmthModel notes in
-        #: sched_core).  Shared semantics: all hwthreads of a core observe the
-        #: same logical clock; we keep it per-core on the core object and
-        #: this mirrors it for convenience.
+        #: What the pending timer was armed for (``"complete"`` or
+        #: ``"slice"``) — diagnostic state kept by the scheduler core.
+        self.timer_kind = ""
+        #: Whether this CPU's RT class has exhausted its bandwidth budget
+        #: (reserved for an RT-throttling extension; currently never set).
+        #: The per-core lazy cache-eviction clock this slot once claimed to
+        #: mirror lives solely in ``SchedCore._core_clock``.
         self.rt_throttled = False
 
     # ------------------------------------------------------------- helpers
 
     def class_of(self, task: Task) -> SchedClass:
         """The scheduling class serving *task*'s policy."""
-        for cls in self.classes:
-            if task.policy in cls.policies:
-                return cls
-        raise ValueError(
-            f"no class on cpu {self.cpu_id} serves policy {task.policy!r} "
-            f"(classes: {[c.name for c in self.classes]})"
-        )
+        cls = self._class_by_policy.get(task.policy)
+        if cls is None:
+            raise ValueError(
+                f"no class on cpu {self.cpu_id} serves policy {task.policy!r} "
+                f"(classes: {[c.name for c in self.classes]})"
+            )
+        return cls
 
     def class_rank(self, cls: SchedClass) -> int:
         """Priority position of *cls* (0 = highest)."""
-        return self.classes.index(cls)
+        return self._rank_by_name[cls.name]
 
     def queue_for(self, task: Task) -> ClassQueue:
         return self.queues[self.class_of(task).name]

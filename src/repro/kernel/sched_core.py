@@ -110,10 +110,24 @@ class SchedCore:
         self.rqs: List[CpuRunqueue] = [
             CpuRunqueue(cpu.cpu_id, self.classes) for cpu in machine.cpus
         ]
-        #: Lazy cache-eviction clocks, one per physical core.
-        self._core_clock: Dict[int, int] = {
-            core.core_id: 0 for core in machine.cores()
-        }
+        #: Lazy cache-eviction clocks, one per physical core (indexed by the
+        #: dense ``core_id``).
+        self._core_clock: List[int] = [0] * machine.n_cores
+        # Flattened topology tables: the accounting hot path (update_curr,
+        # _base_rate, sibling checkpoints) runs per event and must not
+        # re-walk the Machine object tree each time.
+        #: cpu_id -> core_id of the core that owns it.
+        self._core_id_of: List[int] = [cpu.core.core_id for cpu in machine.cpus]
+        #: cpu_id -> every cpu_id on the same core (self included).
+        self._core_cpu_ids: List[List[int]] = [
+            [t.cpu_id for t in cpu.core.threads] for cpu in machine.cpus
+        ]
+        #: cpu_id -> its SMT sibling cpu_ids (self excluded).
+        self._sibling_cpu_ids: List[List[int]] = [
+            [t.cpu_id for t in cpu.core.threads if t.cpu_id != cpu.cpu_id]
+            for cpu in machine.cpus
+        ]
+        self._smt_throughput = machine.smt_throughput
         #: Wake/fork CPU selection, installed by the kernel facade.
         self.select_cpu: Callable[[Task, str], int] = lambda task, reason: (
             task.cpu if task.cpu is not None else 0
@@ -196,18 +210,20 @@ class SchedCore:
     def _base_rate(self, rq: CpuRunqueue) -> float:
         """Execution rate of the task on *rq* right now: SMT co-run factor
         times the tick-bookkeeping haircut."""
-        cpu = self.machine.cpu(rq.cpu_id)
+        rqs = self.rqs
         busy = 0
-        for thread in cpu.core.threads:
-            curr = self.rqs[thread.cpu_id].curr
+        for cpu_id in self._core_cpu_ids[rq.cpu_id]:
+            curr = rqs[cpu_id].curr
             if curr is not None and not curr.is_idle:
                 busy += 1
-        busy = max(busy, 1)
-        rate = self.machine.smt_throughput[busy - 1]
-        if self.config.tick_overhead:
-            tickless_quiet = self.config.tickless and rq.nr_queued() == 0
+        if busy < 1:
+            busy = 1
+        rate = self._smt_throughput[busy - 1]
+        config = self.config
+        if config.tick_overhead:
+            tickless_quiet = config.tickless and rq.nr_queued() == 0
             if not tickless_quiet:
-                rate *= 1.0 - self.config.tick_overhead
+                rate *= 1.0 - config.tick_overhead
         return rate
 
     def update_curr(self, cpu_id: int) -> None:
@@ -231,34 +247,36 @@ class SchedCore:
 
         # Work progression: burn pending dead time first, then real work.
         effective = delta
-        if p.pending_delay > 0:
-            burned = min(effective, p.pending_delay)
-            p.pending_delay -= burned
+        pending = p.pending_delay
+        if pending > 0:
+            burned = effective if effective < pending else pending
+            p.pending_delay = pending - burned
             effective -= burned
-        if effective > 0 and not p.spinning and p.remaining_work is not None:
+        spinning = p.spinning
+        warmth_state = p.warmth
+        if effective > 0 and not spinning and p.remaining_work is not None:
             rate = self._base_rate(rq)
-            if p.warmth is not None:
-                speed = self.warmth.mean_speed_over(p.warmth, effective)
+            if warmth_state is not None:
+                speed = self.warmth.mean_speed_over(warmth_state, effective)
             else:  # pragma: no cover - warmth always set before running
                 speed = 1.0
             done = int(rate * speed * effective)
-            p.remaining_work = max(0, p.remaining_work - done)
+            remaining = p.remaining_work - done
+            p.remaining_work = remaining if remaining > 0 else 0
 
         # Cache dynamics: a working task rewarms itself and disturbs the
         # core's other residents; a spinner's footprint is negligible.
-        if not p.spinning and p.warmth is not None:
+        if not spinning and warmth_state is not None:
             if effective > 0:
-                self.warmth.run_for(p.warmth, effective)
-            core_id = self.machine.cpu(cpu_id).core.core_id
-            self._core_clock[core_id] += delta
+                self.warmth.run_for(warmth_state, effective)
+            self._core_clock[self._core_id_of[cpu_id]] += delta
 
     def _apply_lazy_eviction(self, task: Task) -> None:
         """Fold in the cache disturbance that hit the task's home core while
         it was off-CPU."""
         if task.warmth is None:
             return
-        core_id = self.machine.cpu(task.warmth.home_cpu).core.core_id
-        clock = self._core_clock[core_id]
+        clock = self._core_clock[self._core_id_of[task.warmth.home_cpu]]
         delta = clock - task.evict_snapshot
         if delta > 0:
             self.warmth.evict_for(task.warmth, delta)
@@ -267,8 +285,7 @@ class SchedCore:
     def _snapshot_eviction(self, task: Task) -> None:
         if task.warmth is None:
             return
-        core_id = self.machine.cpu(task.warmth.home_cpu).core.core_id
-        task.evict_snapshot = self._core_clock[core_id]
+        task.evict_snapshot = self._core_clock[self._core_id_of[task.warmth.home_cpu]]
 
     # ----------------------------------------------------------- placement
 
@@ -363,10 +380,8 @@ class SchedCore:
         """Bring SMT siblings' accounting up to date *before* this CPU's
         busy state changes, so their past interval is integrated at the rate
         that actually prevailed."""
-        cpu = self.machine.cpu(cpu_id)
-        for thread in cpu.core.threads:
-            if thread.cpu_id != cpu_id:
-                self.update_curr(thread.cpu_id)
+        for sibling_id in self._sibling_cpu_ids[cpu_id]:
+            self.update_curr(sibling_id)
 
     def preempt_curr(self, rq: CpuRunqueue, by: Optional[Task] = None) -> None:
         """Involuntarily displace the running task and reschedule.  *by* is
@@ -717,33 +732,44 @@ class SchedCore:
     def _reprogram_core_siblings(self, cpu_id: int) -> None:
         """An SMT sibling's busy state changed: checkpoint and re-arm the
         other threads of this core so their rates update."""
-        cpu = self.machine.cpu(cpu_id)
-        for thread in cpu.core.threads:
-            if thread.cpu_id == cpu_id:
-                continue
-            sib_rq = self.rqs[thread.cpu_id]
-            if sib_rq.curr is not None and not sib_rq.curr.is_idle:
-                self.update_curr(thread.cpu_id)
+        rqs = self.rqs
+        for sibling_id in self._sibling_cpu_ids[cpu_id]:
+            sib_rq = rqs[sibling_id]
+            curr = sib_rq.curr
+            if curr is not None and not curr.is_idle:
+                self.update_curr(sibling_id)
                 self._program(sib_rq)
 
     # ---------------------------------------------------------------- timer
 
     def _program(self, rq: CpuRunqueue) -> None:
         """Re-arm the CPU's single timer for the earlier of segment
-        completion and slice expiry."""
-        if rq.timer_event is not None:
-            rq.timer_event.cancel()
-            rq.timer_event = None
+        completion and slice expiry.
+
+        The pending timer is always cancelled and re-armed, even when the
+        freshly computed ``(fire time, kind)`` matches it.  Keeping the
+        armed event would save two heap operations per no-op checkpoint but
+        is **not** semantics-preserving: a kept event retains its original
+        heap sequence number, so it would fire *before* any same-timestamp
+        same-priority event scheduled since — whereas re-arming gives the
+        timer the newest sequence number.  That reordering changes campaign
+        provenance (caught by the golden fixtures), so determinism wins."""
         p = rq.curr
         if p is None or p.is_idle:
+            event = rq.timer_event
+            if event is not None:
+                event.cancel()
+                rq.timer_event = None
             return
         # Bring accounting up to date so remaining_work/slice_used are fresh
         # relative to `now` (idempotent when already checkpointed).
         self.update_curr(rq.cpu_id)
         now = self.sim.now
-        candidates = []
-        if not p.spinning and p.remaining_work is not None:
-            if p.remaining_work <= _WORK_EPSILON:
+        t_fire = 0
+        kind = ""
+        remaining = p.remaining_work
+        if not p.spinning and remaining is not None:
+            if remaining <= _WORK_EPSILON:
                 t_done = now + max(p.pending_delay, 1)
             else:
                 rate = self._base_rate(rq)
@@ -751,22 +777,35 @@ class SchedCore:
                 t_done = (
                     now
                     + p.pending_delay
-                    + self.warmth.time_for_work(p.warmth, p.remaining_work, rate)
+                    + self.warmth.time_for_work(p.warmth, remaining, rate)
                 )
-            candidates.append((max(t_done, now + 1), "complete"))
+            t_fire = t_done if t_done > now else now + 1
+            kind = "complete"
         cls = rq.class_of(p)
         slice_us = cls.task_slice(rq.queues[cls.name], p)
         if slice_us is not None:
-            t_slice = now + max(slice_us - p.slice_used, 1)
-            candidates.append((t_slice, "slice"))
-        if not candidates:
+            left = slice_us - p.slice_used
+            t_slice = now + (left if left > 1 else 1)
+            # min() over the two candidates; "complete" wins the tie, as it
+            # sorts before "slice" in the historical (time, kind) tuple min.
+            if not kind or t_slice < t_fire:
+                t_fire = t_slice
+                kind = "slice"
+        if not kind:
+            event = rq.timer_event
+            if event is not None:
+                event.cancel()
+                rq.timer_event = None
             if p.spinning:
                 return  # a spinner with no class peers runs untimed
             raise RuntimeError(
                 f"runnable {p!r} has neither work nor slice nor spin — the "
                 "application layer must give every running task a segment"
             )
-        t_fire, kind = min(candidates)
+        event = rq.timer_event
+        if event is not None:
+            event.cancel()
+        rq.timer_kind = kind
         rq.timer_event = self.sim.at(
             t_fire,
             lambda cpu_id=rq.cpu_id, kind=kind: self._on_cpu_timer(cpu_id, kind),

@@ -98,8 +98,17 @@ class Simulator:
         )
 
     def stop(self) -> None:
-        """Request the run loop to stop after the current event."""
+        """Request the run loop to stop after the current event.
+
+        A stop requested while no run loop is active (e.g. by a fault or
+        watchdog callback between two ``run_until`` segments) stays pending:
+        the next :meth:`run_until` returns immediately, consuming it."""
         self._stopped = True
+
+    @property
+    def stop_pending(self) -> bool:
+        """Whether a :meth:`stop` request has not yet been honored."""
+        return self._stopped
 
     def add_trace_hook(self, hook: Callable[[int, str], None]) -> None:
         """Register a ``(time, label)`` observer called for every event fired."""
@@ -114,39 +123,53 @@ class Simulator:
         Events scheduled exactly at *horizon* still fire (the horizon is
         inclusive), which lets callers use "run until the app's deadline"
         without off-by-one surprises.
+
+        A pending :meth:`stop` — one requested since the previous run
+        segment ended — is honored *before* any event fires: the call
+        returns immediately and consumes the stop request.  (Historically
+        the flag was unconditionally reset on entry, silently discarding
+        stops requested between segments.)
         """
-        self._stopped = False
         queue = self.queue
         hooks = self._trace_hooks
-        while not self._stopped:
-            next_time = queue.peek_time()
-            if next_time is None:
+        max_sim_time = self.max_sim_time
+        max_events = self.max_events
+        next_live = queue.next_live
+        pop_head = queue.pop_head
+        while True:
+            if self._stopped:
+                # Honor the stop — pending from between segments, or raised
+                # by the event that just fired — and consume the request.
+                self._stopped = False
                 break
+            event = next_live()
+            if event is None:
+                break
+            next_time = event.time
             if horizon is not None and next_time > horizon:
                 self.now = horizon
                 break
-            if self.max_sim_time is not None and next_time > self.max_sim_time:
+            if max_sim_time is not None and next_time > max_sim_time:
                 raise SimStallError(
-                    f"simulated clock passed max_sim_time={self.max_sim_time} "
+                    f"simulated clock passed max_sim_time={max_sim_time} "
                     f"(next event at t={next_time}, "
                     f"{self.events_processed} events processed); "
                     f"{queue.summary()}"
                 )
-            event = queue.pop()
-            assert event is not None
-            if event.time < self.now:  # pragma: no cover - internal invariant
+            pop_head()
+            if next_time < self.now:  # pragma: no cover - internal invariant
                 raise AssertionError("event queue returned a past event")
-            self.now = event.time
+            self.now = next_time
             self.events_processed += 1
-            if self.events_processed > self.max_events:
+            if self.events_processed > max_events:
                 raise SimStallError(
-                    f"exceeded {self.max_events} events at t={self.now} "
+                    f"exceeded {max_events} events at t={self.now} "
                     f"(likely a zero-length self-rescheduling loop); "
                     f"tripped on {event.label or '<unlabelled>'!r}; "
                     f"{queue.summary()}"
                 )
             if hooks:
                 for hook in hooks:
-                    hook(self.now, event.label)
+                    hook(next_time, event.label)
             event.callback()
         return self.now

@@ -6,9 +6,17 @@ before the balance timer at the same instant), then insertion order.  The
 explicit sequence number makes ordering total and deterministic, which keeps
 campaign replays bit-identical.
 
-Cancellation is lazy: :meth:`Event.cancel` marks the event; the queue skips
-cancelled entries when popping.  This is O(1) per cancel and avoids heap
-surgery.
+Cancellation is lazy: :meth:`Event.cancel` marks the event and immediately
+updates the queue's live count; the heap entry itself is skipped when it
+bubbles to the top.  This is O(1) per cancel and avoids heap surgery, while
+``len(queue)`` stays exact at all times.
+
+Hot path
+--------
+The engine's run loop uses the fused :meth:`EventQueue.next_live` /
+:meth:`EventQueue.pop_head` pair: one pass drops cancelled heads and exposes
+the next live event, and the subsequent pop removes it without re-scanning.
+``peek_time``/``pop`` remain as the compatibility API on top of them.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ class Event:
     them to :meth:`cancel` or inspect scheduling metadata.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled", "_queue")
 
     def __init__(
         self,
@@ -35,6 +43,7 @@ class Event:
         seq: int,
         callback: Callable[[], Any],
         label: str,
+        queue: Optional["EventQueue"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -42,10 +51,19 @@ class Event:
         self.callback = callback
         self.label = label
         self.cancelled = False
+        #: Owning queue while the event is pending; detached once it fires
+        #: so a late cancel() cannot corrupt the live count.
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        """Prevent the event from firing.  Idempotent: only the first cancel
+        of a still-pending event adjusts the queue's live count."""
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._live -= 1
+                self._queue = None
 
     # Only ever compared through the heap tuple, but define a repr for traces.
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -79,36 +97,59 @@ class EventQueue:
         """
         if time < 0:
             raise ValueError(f"cannot schedule event at negative time {time}")
-        event = Event(time, priority, self._seq, callback, label)
-        self._seq += 1
-        heapq.heappush(self._heap, (time, priority, event.seq, event))
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, label, self)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
+    # ------------------------------------------------------------- hot path
+
+    def next_live(self) -> Optional[Event]:
+        """Drop cancelled heads and return the next live event *without*
+        removing it, or ``None`` when the queue is empty.
+
+        Cancelled entries popped here were already discounted from the live
+        count by :meth:`Event.cancel`."""
+        heap = self._heap
+        while heap:
+            event = heap[0][3]
+            if not event.cancelled:
+                return event
+            heapq.heappop(heap)
+        return None
+
+    def pop_head(self) -> Event:
+        """Remove and return the head event.  Must directly follow a
+        :meth:`next_live` that returned an event, with no intervening
+        mutation — the head is then known live, so no re-scan is needed."""
+        self._live -= 1
+        event = heapq.heappop(self._heap)[3]
+        event._queue = None
+        return event
+
+    # -------------------------------------------------- compatibility layer
+
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the next live event, or ``None``."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        return self._heap[0][0]
+        event = self.next_live()
+        return None if event is None else event.time
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or ``None`` if empty."""
-        self._drop_cancelled()
-        if not self._heap:
+        if self.next_live() is None:
             return None
-        _, _, _, event = heapq.heappop(self._heap)
-        self._live -= 1
-        return event
-
-    def _drop_cancelled(self) -> None:
-        heap = self._heap
-        while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
-            self._live -= 1
+        return self.pop_head()
 
     def clear(self) -> None:
-        """Drop all pending events."""
+        """Drop all pending events.  The dropped events are marked cancelled
+        so that outstanding handles stay inert (a later ``cancel()`` is a
+        no-op, not a live-count corruption)."""
+        for entry in self._heap:
+            event = entry[3]
+            event.cancelled = True
+            event._queue = None
         self._heap.clear()
         self._live = 0
 

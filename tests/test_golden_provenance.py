@@ -1,0 +1,97 @@
+"""Golden-provenance fixtures: the perf pass must be semantics-preserving.
+
+Every optimization of the simulator hot path (event queue, scheduler core,
+warmth closed forms, perf fabric) is required to leave run output
+*byte-identical*.  These tests pin that guarantee: each scenario runs a
+small canonical campaign and compares the streamed provenance JSONL
+byte-for-byte against a fixture committed before the perf pass
+(``tests/golden/*.jsonl``).
+
+The scenarios deliberately cover every scheduling class (fair, rt, hpc,
+idle), both kernel variants, affinity pinning, nice, and a faulted run that
+exercises hotplug evacuation, rank crash + restart, and a noise burst — the
+code paths the hot-path pass touches.
+
+Regenerating (only legitimate when a PR *intentionally* changes simulation
+semantics — say so in the PR description):
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_provenance.py
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultPlan, FaultTolerance
+from repro.units import msecs
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+#: name -> kwargs for run_nas_campaign.  Keep each scenario small (a few
+#: runs) — the point is coverage of code paths, not statistics.
+SCENARIOS = {
+    "is_a_stock": dict(name="is", klass="A", regime="stock", n_runs=3, base_seed=3),
+    "is_a_hpl": dict(name="is", klass="A", regime="hpl", n_runs=3, base_seed=3),
+    "cg_a_rt": dict(name="cg", klass="A", regime="rt", n_runs=2, base_seed=11),
+    "ep_a_pinned": dict(name="ep", klass="A", regime="pinned", n_runs=2, base_seed=5),
+    "is_a_nice": dict(name="is", klass="A", regime="nice", n_runs=2, base_seed=7),
+    "is_a_faulted": dict(
+        name="is",
+        klass="A",
+        regime="stock",
+        n_runs=2,
+        base_seed=13,
+        fault_plan=FaultPlan.schedule(
+            (
+                FaultEvent(at=msecs(60), kind=FaultKind.CPU_OFFLINE, cpu=3),
+                FaultEvent(at=msecs(90), kind=FaultKind.NOISE_BURST, count=3, work=400),
+                FaultEvent(at=msecs(120), kind=FaultKind.RANK_CRASH, rank=2),
+                FaultEvent(at=msecs(200), kind=FaultKind.CPU_ONLINE, cpu=3),
+            ),
+            label="golden-mixed",
+        ),
+        fault_tolerance=FaultTolerance(mode="restart", checkpoint_every=2),
+    ),
+}
+
+
+def _run_scenario(spec: dict, out_path: Path) -> None:
+    from repro.experiments.runner import run_nas_campaign
+
+    kwargs = dict(spec)
+    run_nas_campaign(
+        kwargs.pop("name"),
+        kwargs.pop("klass"),
+        kwargs.pop("regime"),
+        kwargs.pop("n_runs"),
+        provenance_path=str(out_path),
+        use_cache=False,
+        n_jobs=1,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_provenance_matches_golden(scenario: str, tmp_path: Path) -> None:
+    fixture = GOLDEN_DIR / f"{scenario}.jsonl"
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        _run_scenario(SCENARIOS[scenario], fixture)
+        (fixture.parent / f"{scenario}.jsonl.meta.json").unlink(missing_ok=True)
+        return
+    assert fixture.is_file(), (
+        f"missing golden fixture {fixture}; generate with "
+        "REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_provenance.py"
+    )
+    out = tmp_path / f"{scenario}.jsonl"
+    _run_scenario(SCENARIOS[scenario], out)
+    got = out.read_bytes()
+    want = fixture.read_bytes()
+    assert got == want, (
+        f"provenance for {scenario} is not byte-identical to the golden "
+        "fixture — the change is not semantics-preserving"
+    )

@@ -1,0 +1,107 @@
+"""Unit tests for the perf-gate comparison logic (benchmarks.perf.simcore).
+
+Only the pure comparison/normalization code runs here — the measurement
+suite itself lives outside tier-1 (see benchmarks/perf/test_perf_gate.py).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from benchmarks.perf import simcore
+
+
+def doc(calib: float, **scores: float) -> dict:
+    return {
+        "schema": 1,
+        "calibration_ops_per_sec": calib,
+        "metrics": {
+            name: {"score": s, "unit": "events/s", "wall_s": 0.1}
+            for name, s in scores.items()
+        },
+    }
+
+
+def test_identical_docs_pass() -> None:
+    base = doc(1000.0, nas=50_000.0, micro=600_000.0)
+    assert simcore.compare(base, base) == []
+
+
+def test_regression_past_tolerance_fails() -> None:
+    base = doc(1000.0, nas=50_000.0)
+    cur = doc(1000.0, nas=40_000.0)  # 0.80x < 0.85x floor
+    failures = simcore.compare(cur, base, tolerance=0.15)
+    assert len(failures) == 1 and failures[0].startswith("nas:")
+
+
+def test_regression_within_tolerance_passes() -> None:
+    base = doc(1000.0, nas=50_000.0)
+    cur = doc(1000.0, nas=44_000.0)  # 0.88x >= 0.85x floor
+    assert simcore.compare(cur, base, tolerance=0.15) == []
+
+
+def test_slower_machine_is_normalized_away() -> None:
+    base = doc(2000.0, nas=100_000.0)
+    # Half-speed host: calibration and score both halve -> no regression.
+    cur = doc(1000.0, nas=50_000.0)
+    assert simcore.compare(cur, base) == []
+
+
+def test_real_regression_on_slower_machine_still_caught() -> None:
+    base = doc(2000.0, nas=100_000.0)
+    # Half-speed host *and* a 30% real slowdown on top.
+    cur = doc(1000.0, nas=35_000.0)
+    assert len(simcore.compare(cur, base)) == 1
+
+
+def test_new_and_removed_metrics_are_ignored() -> None:
+    base = doc(1000.0, retired_metric=10.0)
+    cur = doc(1000.0, brand_new_metric=10.0)
+    assert simcore.compare(cur, base) == []
+
+
+def test_speedup_never_fails() -> None:
+    base = doc(1000.0, nas=50_000.0)
+    cur = doc(1000.0, nas=500_000.0)
+    assert simcore.compare(cur, base) == []
+
+
+def test_bad_calibration_rejected() -> None:
+    base = doc(1000.0, nas=1.0)
+    with pytest.raises(ValueError):
+        simcore.compare(doc(0.0, nas=1.0), base)
+
+
+def test_cli_check_flow(tmp_path: Path) -> None:
+    """End-to-end through the CLI with a stubbed metric subset: writes the
+    JSON document and gates against it."""
+    out = tmp_path / "BENCH_simcore.json"
+    repo_root = Path(__file__).resolve().parent.parent
+    cmd = [
+        sys.executable,
+        "-m",
+        "benchmarks.perf.simcore",
+        "--only",
+        "micro_event_queue",
+        "--out",
+        str(out),
+    ]
+    env = {"PYTHONPATH": f"{repo_root / 'src'}:{repo_root}", "REPRO_PERF_REPS": "1"}
+    subprocess.run(cmd, check=True, cwd=repo_root, env=env, capture_output=True)
+    document = json.loads(out.read_text())
+    assert document["schema"] == simcore.SCHEMA
+    assert "micro_event_queue" in document["metrics"]
+    gate = subprocess.run(
+        cmd + ["--check", "--baseline", str(out)],
+        cwd=repo_root,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert gate.returncode == 0, gate.stderr
+    assert "perf gate OK" in gate.stdout

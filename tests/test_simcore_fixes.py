@@ -1,0 +1,179 @@
+"""Regression tests for the sim-core correctness fixes.
+
+Each test pins one historical bug:
+
+* ``Simulator.run_until`` unconditionally reset ``_stopped`` on entry,
+  silently discarding a stop requested between run segments;
+* ``Event.cancel`` never told the queue, so ``len(queue)`` counted
+  cancelled events until they happened to bubble to the heap top;
+* ``analysis.stats.summarize`` crashed on counter metrics whose minimum
+  is legitimately 0 (cpu-migrations of a pinned campaign);
+* ``CpuRunqueue.class_of`` linearly scanned the class list on every
+  accounting checkpoint (the dict replacement must stay equivalent).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.stats import summarize, variation_pct
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+
+
+# ----------------------------------------------------------- pending stop
+
+
+class TestPendingStop:
+    def test_stop_between_segments_halts_next_run(self) -> None:
+        sim = Simulator()
+        fired = []
+        sim.at(10, lambda: fired.append("a"))
+        sim.stop()  # e.g. a watchdog tripping between run segments
+        assert sim.stop_pending
+        sim.run_until()
+        assert fired == []  # the pending stop was honored before any event
+        assert not sim.stop_pending  # ... and consumed
+
+    def test_stop_is_consumed_not_sticky(self) -> None:
+        sim = Simulator()
+        fired = []
+        sim.at(10, lambda: fired.append("a"))
+        sim.stop()
+        sim.run_until()
+        sim.run_until()  # the next segment must run normally
+        assert fired == ["a"]
+
+    def test_mid_run_stop_does_not_leak_into_next_segment(self) -> None:
+        sim = Simulator()
+        fired = []
+        sim.at(10, lambda: (fired.append("a"), sim.stop()))
+        sim.at(20, lambda: fired.append("b"))
+        sim.run_until()
+        assert fired == ["a"]
+        sim.run_until()
+        assert fired == ["a", "b"]
+
+    def test_stop_still_halts_after_current_event(self) -> None:
+        sim = Simulator()
+        fired = []
+        sim.at(5, lambda: fired.append("x"))
+        sim.at(5, lambda: sim.stop())
+        sim.at(6, lambda: fired.append("y"))
+        sim.run_until()
+        assert fired == ["x"]
+
+
+# ------------------------------------------------------- queue live count
+
+
+def _live_events(queue: EventQueue) -> int:
+    return sum(1 for entry in queue._heap if not entry[3].cancelled)
+
+
+class TestQueueLen:
+    def test_cancel_decrements_len_immediately(self) -> None:
+        q = EventQueue()
+        events = [q.schedule(t, lambda: None) for t in range(10)]
+        assert len(q) == 10
+        events[7].cancel()  # deep in the heap, nowhere near the top
+        assert len(q) == 9
+        assert len(q) == _live_events(q)
+
+    def test_cancel_is_idempotent(self) -> None:
+        q = EventQueue()
+        ev = q.schedule(1, lambda: None)
+        other = q.schedule(2, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        ev.cancel()
+        assert len(q) == 1
+        assert len(q) == _live_events(q)
+        assert other is q.pop()
+
+    def test_len_tracks_mixed_churn(self) -> None:
+        q = EventQueue()
+        events = [q.schedule(t, lambda: None, priority=t % 3) for t in range(100)]
+        for ev in events[::4]:
+            ev.cancel()
+        for ev in events[::4]:
+            ev.cancel()  # double-cancel must not double-count
+        popped = 0
+        while len(q) > 50:
+            assert q.pop() is not None
+            popped += 1
+        assert len(q) == _live_events(q) == 50
+        assert popped == 25
+
+    def test_cancel_after_fire_is_inert(self) -> None:
+        sim = Simulator()
+        ev = sim.at(3, lambda: None)
+        sim.at(5, lambda: None)
+        sim.run_until(4)
+        assert len(sim.queue) == 1
+        ev.cancel()  # already fired: must not corrupt the live count
+        assert len(sim.queue) == 1
+
+    def test_cancel_after_clear_is_inert(self) -> None:
+        q = EventQueue()
+        ev = q.schedule(1, lambda: None)
+        q.clear()
+        assert len(q) == 0
+        ev.cancel()
+        assert len(q) == 0
+
+
+# ------------------------------------------------------ zero-min counters
+
+
+class TestCountMetricSummarize:
+    def test_time_metric_keeps_strict_contract(self) -> None:
+        with pytest.raises(ValueError):
+            summarize([0.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            variation_pct([0.0, 1.0])
+
+    def test_count_metric_with_zero_min_is_nan(self) -> None:
+        stats = summarize([0, 3, 5], metric="count")
+        assert math.isnan(stats.variation)
+        assert stats.minimum == 0
+        assert stats.maximum == 5
+
+    def test_count_metric_all_zero_has_no_variation(self) -> None:
+        stats = summarize([0, 0, 0], metric="count")
+        assert stats.variation == 0.0
+        assert stats.mean == 0.0
+
+    def test_count_metric_positive_matches_time_metric(self) -> None:
+        a = summarize([2, 4, 6], metric="count")
+        b = summarize([2, 4, 6], metric="time")
+        assert a == b
+
+    def test_unknown_metric_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            summarize([1.0], metric="bytes")
+
+
+# --------------------------------------------------------- class lookup
+
+
+class TestClassLookup:
+    def test_dict_lookup_matches_linear_scan(self, stock_kernel) -> None:
+        rq = stock_kernel.core.rqs[0]
+        for policy in {p for cls in rq.classes for p in cls.policies}:
+            linear = next(c for c in rq.classes if policy in c.policies)
+            task = type("T", (), {"policy": policy})()
+            assert rq.class_of(task) is linear
+
+    def test_class_rank_matches_list_position(self, stock_kernel) -> None:
+        rq = stock_kernel.core.rqs[0]
+        for idx, cls in enumerate(rq.classes):
+            assert rq.class_rank(cls) == idx
+
+    def test_unknown_policy_raises(self, stock_kernel) -> None:
+        rq = stock_kernel.core.rqs[0]
+        task = type("T", (), {"policy": "SCHED_NONSENSE"})()
+        with pytest.raises(ValueError, match="SCHED_NONSENSE"):
+            rq.class_of(task)
