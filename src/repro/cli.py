@@ -9,10 +9,21 @@ Subcommands::
     hpl-repro trace ep A --format chrome -o t.json  # exportable event trace
     hpl-repro campaign ep A --regime stock -n 100 --provenance runs.jsonl
     hpl-repro campaign ep A -n 100 --jobs 4         # fan across 4 workers
+    hpl-repro campaign ep A -n 100 --telemetry t.jsonl  # execution feed
+    hpl-repro top t.jsonl                # summarize a telemetry feed
+    hpl-repro replay t.json -o gantt.svg # trace file -> per-CPU Gantt SVG
     hpl-repro experiment tab2 -n 50      # regenerate a paper artifact
     hpl-repro faults ep A --regime hpl --offline-cores 1   # fault injection
     hpl-repro cache info                 # campaign result-cache status
     hpl-repro topology                   # show the js22 model
+
+Campaigns accept ``--telemetry PATH`` to stream a JSONL execution feed
+(queue-wait/wall per run, retries, timeouts, cache traffic, pool health —
+schema: :mod:`repro.obs.telemetry`) that ``hpl-repro top`` summarizes live
+or after the fact; ``--progress`` forces the in-place progress line that a
+TTY gets automatically.  ``hpl-repro replay`` loads a trace exported by
+``hpl-repro trace`` (either format) and renders it as a deterministic
+per-CPU Gantt SVG.
 
 Campaign-running subcommands (campaign, faults, experiment, sweep, report,
 export) take ``--jobs N`` (default: all CPUs; 1 = the in-process serial
@@ -138,6 +149,33 @@ def _add_exec_flags(p: argparse.ArgumentParser, *, cache_dir: bool = False) -> N
                         "output is byte-identical to an uninterrupted run)")
 
 
+def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+    """--telemetry/--progress, shared by the campaign-running subcommands
+    that expose the execution feed."""
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="stream a JSONL execution-telemetry feed to PATH "
+                        "(summarize with 'hpl-repro top PATH', live or after)")
+    p.add_argument("--progress", action="store_true",
+                   help="show the in-place progress line (completed/total, "
+                        "runs/sec, ETA, cache hits, retries) even when "
+                        "stderr is not a terminal")
+
+
+def _make_telemetry(args: argparse.Namespace):
+    """The CampaignTelemetry the flags ask for, or None.
+
+    The feed file needs --telemetry; the progress line alone (a TTY on
+    stderr, or --progress) still routes through a file-less telemetry
+    object, because the line is a telemetry listener."""
+    want_progress = args.progress or sys.stderr.isatty()
+    if args.telemetry is None and not want_progress:
+        return None
+    from repro.obs.telemetry import CampaignTelemetry, ProgressLine
+
+    listeners = (ProgressLine(),) if want_progress else ()
+    return CampaignTelemetry(args.telemetry, listeners=listeners)
+
+
 def _supervisor_config(args: argparse.Namespace):
     """Build the SupervisorConfig the flags ask for (None = all defaults)."""
     from repro.parallel.supervisor import RetryPolicy, SupervisorConfig
@@ -174,6 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(CLUSTER 2010): simulated HPL scheduler vs stock Linux."
         ),
     )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the repro package version and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments and benchmarks")
@@ -196,6 +242,9 @@ def build_parser() -> argparse.ArgumentParser:
     stat.add_argument("--seed", type=_nonneg_int, default=0)
     stat.add_argument("--ranks-only", action="store_true",
                       help="restrict the per-task table to application ranks")
+    stat.add_argument("--sim-profile", action="store_true",
+                      help="append the sim-core self-profile (events by "
+                           "type, events/sec, heap depth, cascade sizes)")
 
     lat = sub.add_parser(
         "latency",
@@ -234,6 +283,30 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--provenance", default=None, metavar="PATH",
                       help="stream one JSONL provenance record per run to PATH")
     _add_exec_flags(camp, cache_dir=True)
+    _add_telemetry_flags(camp)
+
+    top = sub.add_parser(
+        "top",
+        help="summarize a campaign telemetry feed (live or finished)",
+    )
+    top.add_argument("feed", help="telemetry JSONL written by --telemetry")
+
+    replay = sub.add_parser(
+        "replay",
+        help="load an exported trace and render a per-CPU Gantt SVG",
+    )
+    replay.add_argument("trace_file",
+                        help="trace written by 'hpl-repro trace' "
+                             "(Chrome JSON or ftrace text)")
+    replay.add_argument("--format", dest="fmt", default="auto",
+                        choices=["auto", "chrome", "ftrace"],
+                        help="input format (default: sniff)")
+    replay.add_argument("-o", "--output", default="-",
+                        help="output SVG file ('-' = stdout)")
+    replay.add_argument("--width", type=_positive_int, default=960,
+                        help="chart width in pixels (default 960)")
+    replay.add_argument("--title", default=None,
+                        help="chart title (default: derived from the trace)")
 
     faults = sub.add_parser(
         "faults",
@@ -275,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="repetitions; >1 runs a faulted campaign and "
                              "summarizes instead of printing the fault log")
     _add_exec_flags(faults)
+    _add_telemetry_flags(faults)
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp.add_argument("exp_id", help="fig1 fig2 fig3 fig4 tab1a tab1b tab2 policy "
@@ -370,8 +444,18 @@ def _cmd_stat(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_nas_observed
     from repro.obs import render_stat
 
+    profilers: list = []
+    observed_kwargs = {}
+    if args.sim_profile:
+        from repro.obs.metrics import SimProfiler
+
+        def attach_profiler(kernel) -> None:
+            profilers.append(SimProfiler(kernel.sim))
+
+        observed_kwargs["instrument"] = attach_profiler
     run = run_nas_observed(
-        args.bench, args.klass, args.regime, seed=args.seed, with_trace=False
+        args.bench, args.klass, args.regime, seed=args.seed, with_trace=False,
+        **observed_kwargs,
     )
     if args.ranks_only and run.kernel.perf.task_counters is not None:
         wanted = set(run.rank_pids)
@@ -387,6 +471,12 @@ def _cmd_stat(args: argparse.Namespace) -> int:
         ),
         end="",
     )
+    if profilers:
+        from repro.obs.metrics import render_sim_profile
+
+        profilers[0].finalize()
+        print()
+        print(render_sim_profile(profilers[0]), end="")
     return 0
 
 
@@ -483,16 +573,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"error: cannot write --provenance {args.provenance}: {reason}",
                   file=sys.stderr)
             return 2
+    if args.telemetry is not None:
+        reason = _unwritable(args.telemetry)
+        if reason is not None:
+            print(f"error: cannot write --telemetry {args.telemetry}: {reason}",
+                  file=sys.stderr)
+            return 2
+    telemetry = _make_telemetry(args)
     try:
         campaign = run_nas_campaign(
             args.bench, args.klass, args.regime, args.runs, base_seed=args.seed,
             provenance_path=args.provenance,
             n_jobs=args.jobs, use_cache=args.use_cache, cache_dir=args.cache_dir,
             supervise=_supervisor_config(args), resume=args.resume,
+            telemetry=telemetry,
         )
     except NoJournalError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print(f"{campaign.label} under {args.regime}, {args.runs} runs:")
     if campaign.results:
         times = summarize(campaign.app_times_s())
@@ -518,6 +619,54 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     _print_supervision(campaign, args)
     if args.provenance:
         print(f"  provenance -> {args.provenance} ({campaign.n_runs} records)")
+    if args.telemetry:
+        print(f"  telemetry  -> {args.telemetry}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import read_telemetry, render_top, summarize_telemetry
+
+    try:
+        events = read_telemetry(args.feed)
+    except OSError as exc:
+        print(f"error: cannot read {args.feed}: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"error: {args.feed} contains no telemetry events "
+              f"(is it a --telemetry feed?)", file=sys.stderr)
+        return 2
+    print(render_top(summarize_telemetry(events)), end="")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.obs.replay import gantt_svg, load_trace
+
+    reason = _unwritable(args.output)
+    if reason is not None:
+        print(f"error: cannot write -o {args.output}: {reason}", file=sys.stderr)
+        return 2
+    try:
+        replayed = load_trace(args.trace_file, fmt=args.fmt)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace_file}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        svg = gantt_svg(replayed, width=args.width, title=args.title)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output == "-":
+        print(svg, end="")
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+        print(f"wrote {args.output} ({len(replayed)} events, "
+              f"{len(replayed.cpus)} CPUs, {replayed.source} format)")
     return 0
 
 
@@ -589,6 +738,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                   "ignored with -n > 1", file=sys.stderr)
         if not _resume_usable(args):
             return 2
+        if args.telemetry is not None:
+            reason = _unwritable(args.telemetry)
+            if reason is not None:
+                print(f"error: cannot write --telemetry {args.telemetry}: "
+                      f"{reason}", file=sys.stderr)
+                return 2
+        telemetry = _make_telemetry(args)
         try:
             campaign = run_nas_campaign(
                 args.bench, args.klass, args.regime, args.runs,
@@ -596,10 +752,14 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                 fault_plan=plan, fault_tolerance=tolerance,
                 n_jobs=args.jobs, use_cache=args.use_cache,
                 supervise=_supervisor_config(args), resume=args.resume,
+                telemetry=telemetry,
             )
         except NoJournalError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        finally:
+            if telemetry is not None:
+                telemetry.close()
         print(f"{campaign.label} under {args.regime}, {args.runs} runs, "
               f"fault plan {plan.label!r} "
               f"({len(plan)} events, digest {plan.digest()}):")
@@ -623,7 +783,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(f"  exec  {campaign.jobs} worker(s), "
               f"{campaign.cache_hits}/{campaign.n_runs} runs from cache")
         _print_supervision(campaign, args)
+        if args.telemetry:
+            print(f"  telemetry  -> {args.telemetry}")
         return 0
+    if args.telemetry is not None:
+        print("note: --telemetry records campaign execution; "
+              "ignored with -n 1", file=sys.stderr)
     run = run_nas_faulted(
         args.bench, args.klass, args.regime, seed=args.seed,
         fault_plan=plan, fault_tolerance=tolerance,
@@ -755,6 +920,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "experiment":

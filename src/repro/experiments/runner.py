@@ -238,9 +238,14 @@ def run_program_observed(
 ) -> ObservedRun:
     """Like :func:`run_program`, but with a :class:`KernelObserver`
     attached for the whole run.  Observation is passive: the returned
-    ``result`` is identical to an unobserved run of the same seed."""
+    ``result`` is identical to an unobserved run of the same seed.
+
+    An *instrument* callable in ``kwargs`` is chained after the observer
+    attaches (e.g. a :class:`~repro.obs.metrics.SimProfiler` hooking the
+    event loop), instead of replacing it."""
     from repro.obs import KernelObserver
 
+    extra_instrument = kwargs.pop("instrument", None)
     holder: List[KernelObserver] = []
 
     def instrument(kernel: Kernel) -> None:
@@ -253,6 +258,8 @@ def run_program_observed(
                 with_counters=with_counters,
             )
         )
+        if extra_instrument is not None:
+            extra_instrument(kernel)
 
     job = _run_job(program, nprocs, regime, instrument=instrument, **kwargs)
     observer = holder[0]
@@ -539,6 +546,7 @@ def run_campaign(
     supervise: Optional["SupervisorConfig"] = None,
     resume: bool = False,
     resume_missing_ok: bool = False,
+    telemetry: Optional["CampaignTelemetry"] = None,
 ) -> CampaignResult:
     """Run *n_runs* independent repetitions.
 
@@ -577,6 +585,15 @@ def run_campaign(
     unless *resume_missing_ok* — the lenient mode multi-campaign drivers
     (experiments, sweeps) use so that campaigns the crashed invocation
     never reached simply start fresh.
+
+    Telemetry: *telemetry* (a
+    :class:`~repro.obs.telemetry.CampaignTelemetry`) receives the
+    campaign's execution events — per-run queue-wait/wall time, retries,
+    timeouts, pool health, cache traffic — as a streaming JSONL sidecar.
+    The caller owns (and closes) the object; this function brackets the
+    feed with ``campaign_started``/``campaign_finished`` and threads the
+    sink through the supervisor and the result cache.  Telemetry never
+    touches results or provenance: both stay bit-identical with it on.
     """
     import time as _time
 
@@ -613,7 +630,14 @@ def run_campaign(
         fault_tolerance=fault_tolerance,
     )
     jobs = resolve_jobs(n_jobs)
-    cache = ResultCache(cache_dir) if use_cache else None
+    cache = (
+        ResultCache(
+            cache_dir,
+            metrics=telemetry.registry if telemetry is not None else None,
+        )
+        if use_cache
+        else None
+    )
     if resume and cache is None:
         raise NoJournalError(
             "<caching disabled> — --resume replays finished runs from the "
@@ -649,6 +673,13 @@ def run_campaign(
             ),
         )
 
+    if telemetry is not None:
+        telemetry.campaign_started(
+            label=label or specs[0].program.name,
+            regime=regime,
+            n_runs=n_runs,
+            jobs=jobs,
+        )
     try:
         supervised = supervise_campaign(
             specs,
@@ -660,10 +691,13 @@ def run_campaign(
             on_record=on_record,
             journal_path=journal_path,
             resume=resume,
+            telemetry=telemetry,
         )
     finally:
         if prov_fh is not None:
             prov_fh.close()
+    if telemetry is not None:
+        telemetry.campaign_finished(replayed=supervised.replayed)
 
     records = supervised.records
     results = [r.result for r in records]
@@ -724,6 +758,7 @@ def run_nas_campaign(
     supervise: Optional["SupervisorConfig"] = None,
     resume: bool = False,
     resume_missing_ok: bool = False,
+    telemetry: Optional["CampaignTelemetry"] = None,
 ) -> CampaignResult:
     """The paper's unit of measurement: N runs of one NAS benchmark under
     one regime (paper: N=1000)."""
@@ -754,4 +789,5 @@ def run_nas_campaign(
         supervise=supervise,
         resume=resume,
         resume_missing_ok=resume_missing_ok,
+        telemetry=telemetry,
     )

@@ -16,7 +16,16 @@ from "how many events" to "where the time went":
   reconstructible;
 * :mod:`repro.obs.observer` — :class:`KernelObserver`, the one-call attach
   wiring all of the above into a kernel through the first-class hook points
-  (no monkey-patching).
+  (no monkey-patching);
+* :mod:`repro.obs.metrics` — the labeled counter/gauge/histogram registry
+  (with no-op null instruments for the disabled path) plus
+  :class:`SimProfiler`, the sim-core self-profiler;
+* :mod:`repro.obs.telemetry` — streaming JSONL campaign telemetry
+  (queue-wait/wall per run, retries, timeouts, pool health, cache traffic)
+  and the ``top``-style summary over a feed;
+* :mod:`repro.obs.replay` — the inverse of ``export``: parse Chrome/ftrace
+  trace files back into :class:`~repro.sim.trace.SchedTrace` form and
+  render per-CPU Gantt SVGs.
 
 Everything here is strictly passive: attaching an observer never consumes
 simulation randomness or changes event timing, so observed and unobserved
@@ -30,7 +39,29 @@ from repro.obs.export import (
     write_chrome_trace,
     write_ftrace,
 )
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    SimProfiler,
+    render_sim_profile,
+)
 from repro.obs.observer import KernelObserver, observe
+from repro.obs.replay import (
+    ReplayedTrace,
+    gantt_svg,
+    load_trace,
+    replay_chrome,
+    replay_ftrace,
+    write_gantt_svg,
+)
+from repro.obs.telemetry import (
+    CampaignTelemetry,
+    ProgressLine,
+    TelemetrySummary,
+    read_telemetry,
+    render_top,
+    summarize_telemetry,
+)
 from repro.obs.provenance import (
     PROVENANCE_SCHEMA_VERSION,
     campaign_record,
@@ -57,4 +88,20 @@ __all__ = [
     "config_digest",
     "run_record",
     "read_records",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "SimProfiler",
+    "render_sim_profile",
+    "CampaignTelemetry",
+    "ProgressLine",
+    "TelemetrySummary",
+    "read_telemetry",
+    "render_top",
+    "summarize_telemetry",
+    "ReplayedTrace",
+    "gantt_svg",
+    "load_trace",
+    "replay_chrome",
+    "replay_ftrace",
+    "write_gantt_svg",
 ]

@@ -51,6 +51,12 @@ def trace_to_chrome(
     an "X" slice on that CPU track that the next SWITCH closes.  *idle_pids*
     are rendered as gaps rather than slices.  *end_time* (µs) closes slices
     still open when the trace stops.
+
+    Every sched/mark event carries ``args.seq`` (its position in the source
+    trace) and SWITCH slices carry ``args.prev_pid``, so
+    :mod:`repro.obs.replay` can reconstruct the exact recorded event
+    sequence from the JSON.  Slices folded away by *idle_pids* are the one
+    lossy case — replay of an idle-filtered export omits those switches.
     """
     idle = idle_pids or set()
     events: List[dict] = [
@@ -73,15 +79,15 @@ def trace_to_chrome(
             }
         )
 
-    #: cpu -> (pid, slice start) for the currently-open occupancy slice.
-    open_slice: Dict[int, Tuple[int, int]] = {}
+    #: cpu -> (pid, slice start, prev_pid, seq) for the open occupancy slice.
+    open_slice: Dict[int, Tuple[int, int, int, int]] = {}
     last_time = 0
 
     def close(cpu: int, now: int) -> None:
         slot = open_slice.pop(cpu, None)
         if slot is None:
             return
-        pid, since = slot
+        pid, since, prev_pid, seq = slot
         if pid in idle:
             return
         events.append(
@@ -93,15 +99,15 @@ def trace_to_chrome(
                 "dur": max(now - since, 0),
                 "pid": _PROCESS,
                 "tid": cpu,
-                "args": {"task": pid},
+                "args": {"task": pid, "prev_pid": prev_pid, "seq": seq},
             }
         )
 
-    for e in trace.iter_all():
+    for seq, e in enumerate(trace.iter_all()):
         last_time = max(last_time, e.time)
         if e.kind == TraceKind.SWITCH:
             close(e.cpu, e.time)
-            open_slice[e.cpu] = (e.pid, e.time)
+            open_slice[e.cpu] = (e.pid, e.time, e.prev_pid, seq)
         elif e.kind == TraceKind.WAKEUP:
             events.append(
                 {
@@ -112,7 +118,7 @@ def trace_to_chrome(
                     "ts": e.time,
                     "pid": _PROCESS,
                     "tid": e.cpu,
-                    "args": {"task": e.pid},
+                    "args": {"task": e.pid, "seq": seq},
                 }
             )
         elif e.kind == TraceKind.MIGRATE:
@@ -125,7 +131,12 @@ def trace_to_chrome(
                     "ts": e.time,
                     "pid": _PROCESS,
                     "tid": e.cpu,
-                    "args": {"task": e.pid, "src_cpu": e.prev_cpu, "dst_cpu": e.cpu},
+                    "args": {
+                        "task": e.pid,
+                        "src_cpu": e.prev_cpu,
+                        "dst_cpu": e.cpu,
+                        "seq": seq,
+                    },
                 }
             )
         elif e.kind == TraceKind.MARK:
@@ -138,7 +149,7 @@ def trace_to_chrome(
                     "ts": e.time,
                     "pid": _PROCESS,
                     "tid": e.cpu if e.cpu >= 0 else 0,
-                    "args": {},
+                    "args": {"cpu": e.cpu, "seq": seq},
                 }
             )
 

@@ -1,0 +1,391 @@
+"""Trace replay: exported traces back into timeline form, and Gantt SVGs.
+
+:mod:`repro.obs.export` serialises a live run's :class:`SchedTrace` to
+Chrome trace-event JSON or ftrace-style text.  This module is the inverse:
+it parses either format back into a :class:`SchedTrace` — the exact event
+sequence that was recorded, thanks to the ``seq``/``prev_pid`` args the
+exporter embeds — so every timeline/analysis tool works on a trace *file*
+long after (and far away from) the run that produced it.  That is the
+schedsi-style replay surface: record once on the cluster, replay and render
+anywhere.
+
+On top of the replayed trace sits :func:`gantt_svg`, a per-CPU occupancy
+chart rendered with the same dependency-free SVG builder as the paper
+figures.  Rendering is fully deterministic (sorted iteration, fixed palette
+assigned by first appearance, ``%.2f`` coordinates), which is what lets CI
+diff a replayed Gantt byte-for-byte across worker counts.
+
+Foreign traces (real ``chrome://tracing`` exports without our ``seq`` args)
+still load: events fall back to timestamp order and switches synthesise
+``prev_pid=-1``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.svg import SvgCanvas, _nice_ticks
+from repro.analysis.timeline import Timeline, build_timeline
+from repro.sim.trace import SchedTrace, TraceEvent, TraceKind
+
+__all__ = [
+    "ReplayedTrace",
+    "gantt_svg",
+    "load_trace",
+    "replay_chrome",
+    "replay_ftrace",
+    "write_gantt_svg",
+]
+
+
+@dataclass
+class ReplayedTrace:
+    """A trace reconstructed from an exported file."""
+
+    trace: SchedTrace
+    names: Dict[int, str] = field(default_factory=dict)
+    cpus: List[int] = field(default_factory=list)
+    end_time: int = 0
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+
+def _names_from_label(label: str, pid: int, names: Dict[int, str]) -> None:
+    # The exporter renders tasks as "name/pid" (or "pid N" when unnamed).
+    suffix = f"/{pid}"
+    if label.endswith(suffix) and len(label) > len(suffix):
+        names.setdefault(pid, label[: -len(suffix)])
+
+
+def replay_chrome(doc: dict) -> ReplayedTrace:
+    """Reconstruct a :class:`SchedTrace` from Chrome trace-event JSON.
+
+    Accepts either the full ``{"traceEvents": [...]}`` document or a bare
+    event list.  Events written by :func:`repro.obs.export.trace_to_chrome`
+    replay in their exact recorded order via ``args.seq``; foreign traces
+    fall back to timestamp order.
+    """
+    raw = doc.get("traceEvents", doc) if isinstance(doc, dict) else doc
+    if not isinstance(raw, list):
+        raise ValueError("not a Chrome trace: no traceEvents list")
+
+    names: Dict[int, str] = {}
+    cpus: set = set()
+    end_time = 0
+    #: (seq-or-None, fallback order, TraceEvent)
+    staged: List[Tuple[Optional[int], int, TraceEvent]] = []
+
+    for order, e in enumerate(raw):
+        if not isinstance(e, dict):
+            continue
+        ph = e.get("ph")
+        args = e.get("args") or {}
+        seq = args.get("seq")
+        seq = int(seq) if isinstance(seq, int) else None
+        if ph == "M":
+            # thread_name metadata names the CPU tracks ("cpu 3").
+            m = re.fullmatch(r"cpu (\d+)", str(args.get("name", "")))
+            if e.get("name") == "thread_name" and m:
+                cpus.add(int(m.group(1)))
+            continue
+        ts = int(e.get("ts", 0))
+        tid = int(e.get("tid", 0))
+        if ph == "X" and e.get("cat") == "sched":
+            pid = int(args["task"])
+            prev_pid = int(args.get("prev_pid", -1))
+            _names_from_label(str(e.get("name", "")), pid, names)
+            staged.append(
+                (seq, order,
+                 TraceEvent(ts, TraceKind.SWITCH, tid, pid, prev_pid=prev_pid))
+            )
+            cpus.add(tid)
+            end_time = max(end_time, ts + int(e.get("dur", 0)))
+        elif ph == "i" and e.get("cat") == "sched":
+            pid = int(args["task"])
+            name = str(e.get("name", ""))
+            for prefix in ("wakeup ", "migrate "):
+                if name.startswith(prefix):
+                    _names_from_label(name[len(prefix):], pid, names)
+            if "dst_cpu" in args:
+                src = int(args.get("src_cpu", -1))
+                dst = int(args.get("dst_cpu", tid))
+                staged.append(
+                    (seq, order,
+                     TraceEvent(ts, TraceKind.MIGRATE, dst, pid, prev_cpu=src))
+                )
+                cpus.add(dst)
+            else:
+                staged.append(
+                    (seq, order, TraceEvent(ts, TraceKind.WAKEUP, tid, pid))
+                )
+                cpus.add(tid)
+            end_time = max(end_time, ts)
+        elif ph == "i" and e.get("cat") == "mark":
+            cpu = int(args.get("cpu", tid))
+            staged.append(
+                (seq, order,
+                 TraceEvent(ts, TraceKind.MARK, cpu, -1,
+                            label=str(e.get("name", ""))))
+            )
+            end_time = max(end_time, ts)
+
+    if all(seq is not None for seq, _, _ in staged):
+        staged.sort(key=lambda item: item[0])
+    else:
+        staged.sort(key=lambda item: (item[2].time, item[1]))
+
+    trace = SchedTrace(max(len(staged), 1))
+    for _, _, ev in staged:
+        trace.record(ev)
+    return ReplayedTrace(
+        trace=trace,
+        names=names,
+        cpus=sorted(cpus),
+        end_time=end_time,
+        source="chrome",
+    )
+
+
+_FTRACE_LINE = re.compile(
+    r"^\s*(-?\d+)\s+\[(-?\d+)\]\s+"
+    r"(sched_switch|sched_wakeup|sched_migrate_task|mark): (.*)$"
+)
+_SWITCH_BODY = re.compile(
+    r"prev_pid=(-?\d+) ==> next_comm=(.*) next_pid=(-?\d+)$"
+)
+_WAKEUP_BODY = re.compile(r"comm=(.*) pid=(-?\d+) target_cpu=(-?\d+)$")
+_MIGRATE_BODY = re.compile(
+    r"comm=(.*) pid=(-?\d+) orig_cpu=(-?\d+) dest_cpu=(-?\d+)$"
+)
+
+
+def replay_ftrace(text: str) -> ReplayedTrace:
+    """Reconstruct a :class:`SchedTrace` from ftrace-style text.
+
+    The text format is already lossless for the event tuple, so no ``seq``
+    is needed — line order *is* recorded order.  Unparseable lines (and the
+    ``#`` header) are skipped.
+    """
+    names: Dict[int, str] = {}
+    cpus: set = set()
+    end_time = 0
+    events: List[TraceEvent] = []
+
+    def note_name(comm: str, pid: int) -> None:
+        if comm != f"task-{pid}":
+            names.setdefault(pid, comm)
+
+    for line in text.splitlines():
+        m = _FTRACE_LINE.match(line)
+        if m is None:
+            continue
+        time, cpu, kind, body = (
+            int(m.group(1)), int(m.group(2)), m.group(3), m.group(4),
+        )
+        end_time = max(end_time, time)
+        if kind == "sched_switch":
+            b = _SWITCH_BODY.match(body)
+            if b is None:
+                continue
+            prev_pid, comm, pid = int(b.group(1)), b.group(2), int(b.group(3))
+            note_name(comm, pid)
+            events.append(
+                TraceEvent(time, TraceKind.SWITCH, cpu, pid, prev_pid=prev_pid)
+            )
+            cpus.add(cpu)
+        elif kind == "sched_wakeup":
+            b = _WAKEUP_BODY.match(body)
+            if b is None:
+                continue
+            comm, pid = b.group(1), int(b.group(2))
+            note_name(comm, pid)
+            events.append(TraceEvent(time, TraceKind.WAKEUP, cpu, pid))
+            cpus.add(cpu)
+        elif kind == "sched_migrate_task":
+            b = _MIGRATE_BODY.match(body)
+            if b is None:
+                continue
+            comm, pid = b.group(1), int(b.group(2))
+            src, dst = int(b.group(3)), int(b.group(4))
+            note_name(comm, pid)
+            events.append(
+                TraceEvent(time, TraceKind.MIGRATE, dst, pid, prev_cpu=src)
+            )
+            cpus.add(dst)
+        else:  # mark
+            events.append(TraceEvent(time, TraceKind.MARK, cpu, -1, label=body))
+
+    trace = SchedTrace(max(len(events), 1))
+    for ev in events:
+        trace.record(ev)
+    return ReplayedTrace(
+        trace=trace,
+        names=names,
+        cpus=sorted(cpus),
+        end_time=end_time,
+        source="ftrace",
+    )
+
+
+def load_trace(path: str, *, fmt: str = "auto") -> ReplayedTrace:
+    """Load an exported trace file, sniffing the format by default.
+
+    ``fmt`` is ``"auto"`` (Chrome if the file starts with ``{`` or ``[``),
+    ``"chrome"``, or ``"ftrace"``.
+    """
+    if fmt not in ("auto", "chrome", "ftrace"):
+        raise ValueError(f"unknown trace format: {fmt!r}")
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if fmt == "auto":
+        fmt = "chrome" if text.lstrip()[:1] in ("{", "[") else "ftrace"
+    if fmt == "chrome":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"not a Chrome trace: {exc}") from exc
+        return replay_chrome(doc)
+    return replay_ftrace(text)
+
+
+# ------------------------------------------------------------------ rendering
+
+#: Fixed palette; tasks get colors by first appearance on the timeline, so
+#: the same trace always renders the same bytes.
+_PALETTE = (
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948",
+    "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#86bcb6", "#d37295",
+)
+
+_ROW_H = 24
+_ROW_GAP = 8
+_LEFT = 70
+_RIGHT = 20
+_TOP = 44
+_AXIS_H = 34
+_LEGEND_ROW_H = 18
+
+
+def _replay_timeline(replayed: ReplayedTrace) -> Timeline:
+    switches = replayed.trace.events(kind=TraceKind.SWITCH)
+    if not switches:
+        raise ValueError("trace has no sched_switch events to render")
+    end = replayed.end_time if replayed.end_time > switches[0].time else None
+    return build_timeline(replayed.trace, end=end)
+
+
+def gantt_svg(
+    replayed: ReplayedTrace,
+    *,
+    width: int = 960,
+    title: Optional[str] = None,
+    max_legend: int = 8,
+) -> str:
+    """Render a replayed trace as a per-CPU Gantt chart (SVG text).
+
+    One lane per CPU, colored occupancy slices per task, mark events as
+    vertical lines, a time axis in microseconds, and a legend of the
+    ``max_legend`` tasks with the highest CPU residency.
+    """
+    timeline = _replay_timeline(replayed)
+    lanes = sorted(
+        set(replayed.cpus) | {iv.cpu for iv in timeline.intervals}
+    )
+    span = timeline.t_end - timeline.t_start
+
+    # Color by first appearance, in (cpu, start) interval order.
+    colors: Dict[int, str] = {}
+    for iv in timeline.intervals:
+        if iv.pid not in colors:
+            colors[iv.pid] = _PALETTE[len(colors) % len(_PALETTE)]
+
+    by_residency = sorted(
+        colors,
+        key=lambda pid: (-timeline.residency(pid), pid),
+    )[:max_legend]
+    legend_rows = len(by_residency)
+
+    height = (
+        _TOP
+        + len(lanes) * (_ROW_H + _ROW_GAP)
+        + _AXIS_H
+        + legend_rows * _LEGEND_ROW_H
+        + 12
+    )
+    canvas = SvgCanvas(width=max(width, 100), height=max(height, 80))
+    plot_w = canvas.width - _LEFT - _RIGHT
+
+    def px(t: int) -> float:
+        return _LEFT + (t - timeline.t_start) / span * plot_w
+
+    canvas.text(
+        canvas.width / 2,
+        24,
+        title or f"CPU occupancy ({len(replayed)} events, {span} us)",
+        size=14,
+    )
+
+    lane_y: Dict[int, float] = {}
+    for i, cpu in enumerate(lanes):
+        y = _TOP + i * (_ROW_H + _ROW_GAP)
+        lane_y[cpu] = y
+        canvas.rect(_LEFT, y, plot_w, _ROW_H, fill="#f0f0f0")
+        canvas.text(_LEFT - 8, y + _ROW_H / 2 + 4, f"cpu {cpu}",
+                    size=11, anchor="end")
+
+    for iv in timeline.intervals:
+        canvas.rect(
+            px(iv.start),
+            lane_y[iv.cpu],
+            max(px(iv.end) - px(iv.start), 0.5),
+            _ROW_H,
+            fill=colors[iv.pid],
+            opacity=0.9,
+        )
+
+    lanes_bottom = _TOP + len(lanes) * (_ROW_H + _ROW_GAP) - _ROW_GAP
+    marks = replayed.trace.events(kind=TraceKind.MARK)
+    for mk in marks:
+        if timeline.t_start <= mk.time <= timeline.t_end:
+            x = px(mk.time)
+            canvas.line(x, _TOP - 4, x, lanes_bottom + 4,
+                        stroke="#cc3333", width=1.0)
+    if 0 < len(marks) <= 6:
+        for mk in marks:
+            if timeline.t_start <= mk.time <= timeline.t_end:
+                canvas.text(px(mk.time), _TOP - 8, mk.label, size=9)
+
+    axis_y = lanes_bottom + 16
+    canvas.line(_LEFT, axis_y, _LEFT + plot_w, axis_y)
+    for t in _nice_ticks(float(timeline.t_start), float(timeline.t_end)):
+        x = px(int(t)) if span else _LEFT
+        canvas.line(x, axis_y, x, axis_y + 4)
+        canvas.text(x, axis_y + 16, f"{t:g}", size=10)
+    canvas.text(_LEFT + plot_w / 2, axis_y + 30, "time (us)", size=11)
+
+    legend_y = axis_y + _AXIS_H
+    for i, pid in enumerate(by_residency):
+        y = legend_y + i * _LEGEND_ROW_H
+        canvas.rect(_LEFT, y, 12, 12, fill=colors[pid])
+        name = replayed.names.get(pid, f"pid {pid}")
+        share = timeline.residency(pid) / span if span else 0.0
+        canvas.text(
+            _LEFT + 18,
+            y + 10,
+            f"{name} — {100.0 * share:.1f}% of window",
+            size=11,
+            anchor="start",
+        )
+
+    return canvas.render()
+
+
+def write_gantt_svg(replayed: ReplayedTrace, path: str, **kwargs) -> None:
+    """Render :func:`gantt_svg` to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(gantt_svg(replayed, **kwargs))

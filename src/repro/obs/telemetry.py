@@ -1,0 +1,471 @@
+"""Campaign telemetry: a streaming JSONL feed of execution events.
+
+Where provenance (:mod:`repro.obs.provenance`) records *what was simulated*
+— and is therefore required to stay byte-identical across worker counts,
+caches and resumes — telemetry records *how the campaign executed*: per-run
+queue-wait and wall time, cache hits, retries by failure class, timeouts,
+pool deaths and shrinks, worker utilization.  It is inherently
+non-deterministic (it contains wall-clock timings), so it lives in its own
+sidecar file and never leaks into results: a campaign with telemetry
+enabled produces bit-identical results and provenance to one without.
+
+The feed is append-only JSONL, flushed per line, so a ``hpl-repro top``
+invocation can summarize a campaign *while it runs* — this is the progress
+substrate the ROADMAP's campaign-as-a-service front end streams to clients.
+
+Feed schema (``schema`` field on the header, bump on layout change)::
+
+    {"event": "campaign_started", "schema": 1, "label", "regime",
+     "n_runs", "jobs", "ts", "t": 0.0}
+    {"event": "run_finished", "t", "run_index", "seed", "cache_hit",
+     "wait_s", "wall_s", "attempts"}
+    {"event": "retry", "t", "run_index", "attempt", "error",
+     "classification", "delay_s"}
+    {"event": "timeout", "t", "run_index", "timeout_s"}
+    {"event": "pool_death", "t", "pool_size", "survivors"}
+    {"event": "pool_shrink", "t", "jobs"}
+    {"event": "hole", "t", "run_index", "attempts"}
+    {"event": "quarantine", "t", "key"}
+    {"event": "campaign_finished", "t", "completed", "total",
+     "cache_hits", "retries", "timeouts", "pool_deaths", "pool_shrinks",
+     "holes", "replayed", "duration_s", "busy_s", "utilization", "jobs",
+     "metrics": <registry snapshot>}
+
+``t`` is seconds since the campaign started (monotonic clock).
+:func:`read_telemetry` tolerates a torn trailing line, so reading a live
+feed is always safe.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, IO, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "CampaignTelemetry",
+    "ProgressLine",
+    "TelemetrySummary",
+    "read_telemetry",
+    "render_top",
+    "summarize_telemetry",
+]
+
+#: Bump when the feed's line layout changes.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: A listener receives every emitted event dict plus the telemetry object.
+Listener = Callable[[Dict[str, object], "CampaignTelemetry"], None]
+
+#: Histogram bounds for per-run wall and queue-wait times (seconds) — run
+#: durations live well under the default power-of-two integer bounds.
+_TIME_BOUNDS = (0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0)
+
+
+class CampaignTelemetry:
+    """One campaign's telemetry emitter.
+
+    Owns the metrics registry the execution layers share (supervisor
+    events, :class:`~repro.parallel.cache.ResultCache` hit/miss/quarantine
+    counters) and, when *path* is given, streams one JSONL line per event.
+    *listeners* are called synchronously after each event — the CLI's
+    progress line is one.
+
+    The object accumulates running totals (``completed``, ``retries``,
+    ``busy_s``, …) so listeners and the final summary read state instead of
+    re-folding the feed.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        listeners: tuple = (),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.listeners: List[Listener] = list(listeners)
+        self._clock = clock
+        self._fh: Optional[IO[str]] = (
+            open(path, "w", encoding="utf-8") if path else None
+        )
+        self.path = path
+        self._t0: Optional[float] = None
+        # Running totals.
+        self.label = ""
+        self.regime = ""
+        self.total = 0
+        self.jobs = 1
+        self.completed = 0
+        self.cache_hits = 0
+        self.retries = 0
+        self.retries_by_class: Dict[str, int] = {}
+        self.timeouts = 0
+        self.pool_deaths = 0
+        self.pool_shrinks = 0
+        self.holes = 0
+        self.busy_s = 0.0
+        self.finished = False
+
+    # ---------------------------------------------------------------- emit
+
+    def _now(self) -> float:
+        if self._t0 is None:
+            self._t0 = self._clock()
+        return self._clock() - self._t0
+
+    def _emit(self, kind: str, **fields) -> Dict[str, object]:
+        event: Dict[str, object] = {"event": kind, "t": round(self._now(), 6)}
+        event.update(fields)
+        if self._fh is not None:
+            self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+            self._fh.flush()
+        for listener in self.listeners:
+            listener(event, self)
+        return event
+
+    # ------------------------------------------------------------ campaign
+
+    def campaign_started(
+        self, *, label: str, regime: str, n_runs: int, jobs: int
+    ) -> None:
+        self.label = label
+        self.regime = regime
+        self.total = n_runs
+        self.jobs = jobs
+        self._emit(
+            "campaign_started",
+            schema=TELEMETRY_SCHEMA_VERSION,
+            label=label,
+            regime=regime,
+            n_runs=n_runs,
+            jobs=jobs,
+            ts=round(time.time(), 3),
+        )
+
+    def campaign_finished(self, *, replayed: int = 0) -> None:
+        self.finished = True
+        duration = self._now()
+        utilization = (
+            self.busy_s / (duration * self.jobs)
+            if duration > 0 and self.jobs > 0
+            else 0.0
+        )
+        self._emit(
+            "campaign_finished",
+            completed=self.completed,
+            total=self.total,
+            cache_hits=self.cache_hits,
+            retries=self.retries,
+            timeouts=self.timeouts,
+            pool_deaths=self.pool_deaths,
+            pool_shrinks=self.pool_shrinks,
+            holes=self.holes,
+            replayed=replayed,
+            duration_s=round(duration, 6),
+            busy_s=round(self.busy_s, 6),
+            utilization=round(utilization, 4),
+            jobs=self.jobs,
+            metrics=self.registry.snapshot(),
+        )
+
+    # ------------------------------------------------------------ per run
+
+    def run_finished(
+        self,
+        *,
+        run_index: int,
+        seed: int,
+        cache_hit: bool,
+        wait_s: float = 0.0,
+        wall_s: float = 0.0,
+        attempts: int = 0,
+    ) -> None:
+        self.completed += 1
+        if cache_hit:
+            self.cache_hits += 1
+        else:
+            self.busy_s += wall_s
+        self.registry.counter("campaign.runs_finished").inc()
+        self.registry.histogram(
+            "campaign.run_wall_s", bounds=_TIME_BOUNDS
+        ).observe(wall_s)
+        self.registry.histogram(
+            "campaign.run_wait_s", bounds=_TIME_BOUNDS
+        ).observe(wait_s)
+        self._emit(
+            "run_finished",
+            run_index=run_index,
+            seed=seed,
+            cache_hit=cache_hit,
+            wait_s=round(wait_s, 6),
+            wall_s=round(wall_s, 6),
+            attempts=attempts,
+        )
+
+    def retry(
+        self,
+        *,
+        run_index: int,
+        attempt: int,
+        error: str,
+        classification: str,
+        delay_s: float,
+    ) -> None:
+        self.retries += 1
+        self.retries_by_class[classification] = (
+            self.retries_by_class.get(classification, 0) + 1
+        )
+        self.registry.counter(
+            "campaign.retries", classification=classification
+        ).inc()
+        self._emit(
+            "retry",
+            run_index=run_index,
+            attempt=attempt,
+            error=error,
+            classification=classification,
+            delay_s=round(delay_s, 6),
+        )
+
+    def timeout(self, *, run_index: int, timeout_s: float) -> None:
+        self.timeouts += 1
+        self.registry.counter("campaign.timeouts").inc()
+        self._emit("timeout", run_index=run_index, timeout_s=timeout_s)
+
+    def pool_death(self, *, pool_size: int, survivors: int) -> None:
+        self.pool_deaths += 1
+        self.registry.counter("campaign.pool_deaths").inc()
+        self._emit("pool_death", pool_size=pool_size, survivors=survivors)
+
+    def pool_shrink(self, *, jobs: int) -> None:
+        self.pool_shrinks += 1
+        self.registry.counter("campaign.pool_shrinks").inc()
+        self._emit("pool_shrink", jobs=jobs)
+
+    def hole(self, *, run_index: int, attempts: int) -> None:
+        self.holes += 1
+        self.registry.counter("campaign.holes").inc()
+        self._emit("hole", run_index=run_index, attempts=attempts)
+
+    def quarantine(self, *, key: str) -> None:
+        self._emit("quarantine", key=key)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+
+# ------------------------------------------------------------------ reading
+
+
+def read_telemetry(path: str) -> List[Dict[str, object]]:
+    """Load every event from a telemetry feed.
+
+    Tolerates a torn trailing line (the writer may be mid-``write`` when a
+    live feed is read) and skips anything that does not parse as a JSON
+    object — the same discipline as the supervisor's journal reader."""
+    events: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and "event" in entry:
+                events.append(entry)
+    return events
+
+
+@dataclass
+class TelemetrySummary:
+    """What ``hpl-repro top`` shows: one campaign feed, folded."""
+
+    label: str = ""
+    regime: str = ""
+    total: int = 0
+    jobs: int = 1
+    completed: int = 0
+    cache_hits: int = 0
+    retries: int = 0
+    retries_by_class: Dict[str, int] = field(default_factory=dict)
+    timeouts: int = 0
+    pool_deaths: int = 0
+    pool_shrinks: int = 0
+    holes: int = 0
+    replayed: int = 0
+    finished: bool = False
+    duration_s: float = 0.0
+    busy_s: float = 0.0
+    utilization: float = 0.0
+    runs_per_sec: float = 0.0
+    eta_s: Optional[float] = None
+    wall_s: List[float] = field(default_factory=list)
+    wait_s: List[float] = field(default_factory=list)
+
+    @property
+    def executed(self) -> int:
+        return self.completed - self.cache_hits
+
+
+def summarize_telemetry(events: List[Dict[str, object]]) -> TelemetrySummary:
+    """Fold a feed — finished or still streaming — into a summary.
+
+    On an unfinished feed, ``duration_s`` is the timestamp of the last
+    event seen, ``utilization`` is computed over that window, and ``eta_s``
+    extrapolates the remaining runs at the observed completion rate."""
+    s = TelemetrySummary()
+    if not events:
+        return s
+    last_t = 0.0
+    for e in events:
+        t = float(e.get("t", 0.0) or 0.0)
+        last_t = max(last_t, t)
+        kind = e.get("event")
+        if kind == "campaign_started":
+            s.label = str(e.get("label", ""))
+            s.regime = str(e.get("regime", ""))
+            s.total = int(e.get("n_runs", 0) or 0)
+            s.jobs = int(e.get("jobs", 1) or 1)
+        elif kind == "run_finished":
+            s.completed += 1
+            if e.get("cache_hit"):
+                s.cache_hits += 1
+            else:
+                wall = float(e.get("wall_s", 0.0) or 0.0)
+                s.busy_s += wall
+                s.wall_s.append(wall)
+                s.wait_s.append(float(e.get("wait_s", 0.0) or 0.0))
+        elif kind == "retry":
+            s.retries += 1
+            cls = str(e.get("classification", "?"))
+            s.retries_by_class[cls] = s.retries_by_class.get(cls, 0) + 1
+        elif kind == "timeout":
+            s.timeouts += 1
+        elif kind == "pool_death":
+            s.pool_deaths += 1
+        elif kind == "pool_shrink":
+            s.pool_shrinks += 1
+        elif kind == "hole":
+            s.holes += 1
+        elif kind == "campaign_finished":
+            s.finished = True
+            s.duration_s = float(e.get("duration_s", last_t) or last_t)
+            s.replayed = int(e.get("replayed", 0) or 0)
+            s.utilization = float(e.get("utilization", 0.0) or 0.0)
+    if not s.finished:
+        s.duration_s = last_t
+        if s.duration_s > 0 and s.jobs > 0:
+            s.utilization = s.busy_s / (s.duration_s * s.jobs)
+    if s.duration_s > 0:
+        s.runs_per_sec = s.completed / s.duration_s
+        remaining = s.total - s.completed - s.holes
+        if not s.finished and remaining > 0 and s.runs_per_sec > 0:
+            s.eta_s = remaining / s.runs_per_sec
+    return s
+
+
+def _stats(values: List[float]) -> str:
+    if not values:
+        return "n/a"
+    return (
+        f"min {min(values):.3f}  avg {sum(values) / len(values):.3f}  "
+        f"max {max(values):.3f}"
+    )
+
+
+def render_top(summary: TelemetrySummary) -> str:
+    """``hpl-repro top``'s text view of one campaign feed."""
+    s = summary
+    state = "finished" if s.finished else "running"
+    head = f"{s.label or '<campaign>'} under {s.regime or '?'} — {state}"
+    lines = [head]
+    lines.append(
+        f"  progress   : {s.completed}/{s.total} runs"
+        + (f"  ({s.holes} hole(s))" if s.holes else "")
+    )
+    lines.append(
+        f"  throughput : {s.runs_per_sec:.2f} runs/s over {s.duration_s:.1f}s"
+        + (f"  (eta {s.eta_s:.0f}s)" if s.eta_s is not None else "")
+    )
+    lines.append(
+        f"  workers    : {s.jobs}  utilization {100.0 * s.utilization:.0f}%"
+        + (f"  ({s.pool_shrinks} shrink(s))" if s.pool_shrinks else "")
+    )
+    lines.append(
+        f"  cache      : {s.cache_hits} hit(s), {s.executed} simulated"
+        + (f", {s.replayed} replayed from journal" if s.replayed else "")
+    )
+    retry_bits = ", ".join(
+        f"{cls}: {n}" for cls, n in sorted(s.retries_by_class.items())
+    )
+    lines.append(
+        f"  retries    : {s.retries}"
+        + (f"  ({retry_bits})" if retry_bits else "")
+    )
+    lines.append(f"  timeouts   : {s.timeouts}   pool deaths: {s.pool_deaths}")
+    lines.append(f"  run wall   : {_stats(s.wall_s)} s")
+    lines.append(f"  queue wait : {_stats(s.wait_s)} s")
+    return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------------ progress line
+
+
+class ProgressLine:
+    """A telemetry listener rendering a one-line campaign progress display.
+
+    Shows completed/total, runs/sec, ETA, cache hits and retry count —
+    everything the old ``progress(completed, total)`` callback could not.
+    Rendered with ``\\r`` so it updates in place on a terminal; the final
+    state (on ``campaign_finished``) ends with a newline.  Writes to
+    *stream* (default stderr) so piped stdout stays clean.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None, *, min_interval_s: float = 0.1) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._last_render = 0.0
+        self._rendered = False
+
+    def __call__(self, event: Dict[str, object], telemetry: CampaignTelemetry) -> None:
+        kind = event.get("event")
+        final = kind == "campaign_finished"
+        if kind not in ("run_finished", "retry", "hole", "campaign_finished"):
+            return
+        now = time.monotonic()
+        if not final and now - self._last_render < self.min_interval_s:
+            return
+        self._last_render = now
+        t = float(event.get("t", 0.0) or 0.0)
+        rate = telemetry.completed / t if t > 0 else 0.0
+        remaining = telemetry.total - telemetry.completed - telemetry.holes
+        eta = f"  eta {remaining / rate:4.0f}s" if rate > 0 and remaining > 0 else ""
+        line = (
+            f"\r  {telemetry.completed}/{telemetry.total} runs  "
+            f"{rate:5.1f} runs/s{eta}  "
+            f"cache {telemetry.cache_hits}  retries {telemetry.retries}"
+        )
+        if telemetry.timeouts:
+            line += f"  timeouts {telemetry.timeouts}"
+        if telemetry.holes:
+            line += f"  holes {telemetry.holes}"
+        self.stream.write(line)
+        if final:
+            self.stream.write("\n")
+        self.stream.flush()
+        self._rendered = True

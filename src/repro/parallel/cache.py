@@ -86,9 +86,15 @@ class CacheInfo:
 
 
 class ResultCache:
-    """Content-addressed store of per-run campaign results."""
+    """Content-addressed store of per-run campaign results.
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    *metrics*, when given, is a
+    :class:`repro.obs.metrics.MetricsRegistry` to which hit/miss/quarantine
+    counters are reported (under ``cache.hits`` etc.) in addition to the
+    plain integer attributes below — purely observational, never consulted.
+    """
+
+    def __init__(self, root: Optional[str] = None, *, metrics=None) -> None:
         if root is None:
             root = os.environ.get(CACHE_ENV_VAR) or DEFAULT_CACHE_DIR
         self.root = Path(root)
@@ -96,6 +102,19 @@ class ResultCache:
         self.misses = 0
         #: Entries moved to quarantine by this instance.
         self.quarantines = 0
+        if metrics is not None:
+            self._hit_counter = metrics.counter("cache.hits")
+            self._miss_counter = metrics.counter("cache.misses")
+            self._quarantine_counter = metrics.counter("cache.quarantines")
+        else:
+            self._hit_counter = None
+            self._miss_counter = None
+            self._quarantine_counter = None
+
+    def _note_miss(self) -> None:
+        self.misses += 1
+        if self._miss_counter is not None:
+            self._miss_counter.inc()
 
     # ----------------------------------------------------------------- paths
 
@@ -116,6 +135,8 @@ class ResultCache:
         except OSError:
             return  # racing campaign already moved/overwrote it
         self.quarantines += 1
+        if self._quarantine_counter is not None:
+            self._quarantine_counter.inc()
         log.warning(
             "cache entry %s is %s — quarantined to %s and re-simulating",
             key,
@@ -137,11 +158,11 @@ class ResultCache:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
         except FileNotFoundError:
-            self.misses += 1
+            self._note_miss()
             return None
         except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
             self._quarantine(key, path, "unreadable")
-            self.misses += 1
+            self._note_miss()
             return None
         if (
             not isinstance(payload, dict)
@@ -149,9 +170,11 @@ class ResultCache:
             or "result" not in payload
         ):
             self._quarantine(key, path, "schema-mismatched")
-            self.misses += 1
+            self._note_miss()
             return None
         self.hits += 1
+        if self._hit_counter is not None:
+            self._hit_counter.inc()
         return payload["result"], payload.get("faults")
 
     def put(self, key: str, result: object, faults: Optional[dict] = None) -> None:

@@ -125,6 +125,24 @@ _TRANSIENT_ERRNOS = frozenset(
 )
 
 
+class _NullTelemetry:
+    """No-op stand-in for :class:`repro.obs.telemetry.CampaignTelemetry`.
+
+    Local (not imported from ``repro.obs``) so the supervisor keeps zero
+    import coupling to the observability stack — workers pickle specs, not
+    telemetry, and a campaign without a telemetry sink pays nothing."""
+
+    def run_finished(self, **kw) -> None: ...
+    def retry(self, **kw) -> None: ...
+    def timeout(self, **kw) -> None: ...
+    def pool_death(self, **kw) -> None: ...
+    def pool_shrink(self, **kw) -> None: ...
+    def hole(self, **kw) -> None: ...
+
+
+_NULL_TELEMETRY = _NullTelemetry()
+
+
 class RunTimeoutError(RuntimeError):
     """A repetition exceeded its per-run wall-clock budget."""
 
@@ -509,6 +527,10 @@ class _PendingRun:
     attempts: List[AttemptFailure] = field(default_factory=list)
     #: monotonic() instant before which this run must not be redispatched.
     eligible_at: float = 0.0
+    #: monotonic() instant since which this run has been dispatchable —
+    #: campaign start, or the end of the latest backoff.  Queue-wait
+    #: telemetry is dispatch time minus this.
+    ready_at: float = 0.0
     timed_out: bool = False
 
 
@@ -529,6 +551,7 @@ class _Supervisor:
         replayable: Dict[int, str],
         chunk_factor: int,
         sleep: Callable[[float], None],
+        telemetry=None,
     ) -> None:
         self.specs = specs
         self.worker = worker
@@ -541,6 +564,7 @@ class _Supervisor:
         self.replayable = replayable
         self.chunk_factor = chunk_factor
         self.sleep = sleep
+        self.telemetry = telemetry if telemetry is not None else _NULL_TELEMETRY
 
         self.result = SupervisedResult(records=[])
         # Pool-path parking lots: runs waiting out their backoff between
@@ -568,12 +592,27 @@ class _Supervisor:
                 return
             self._next_index += 1
 
-    def _finish(self, record: RunRecord) -> None:
+    def _finish(
+        self,
+        record: RunRecord,
+        *,
+        wall_s: float = 0.0,
+        wait_s: float = 0.0,
+        attempts: int = 0,
+    ) -> None:
         self._completed += 1
         if self.cache is not None and not record.cache_hit:
             self.cache.put(record.digest, record.result, record.faults)
         if self.journal is not None and not record.cache_hit:
             self.journal.record_done(record)
+        self.telemetry.run_finished(
+            run_index=record.run_index,
+            seed=record.seed,
+            cache_hit=record.cache_hit,
+            wait_s=max(wait_s, 0.0),
+            wall_s=max(wall_s, 0.0),
+            attempts=attempts,
+        )
         self._pending[record.run_index] = record
         self._emit_ready()
         if self.progress is not None:
@@ -590,6 +629,9 @@ class _Supervisor:
         self._holes_by_index[hole.run_index] = hole
         if self.journal is not None:
             self.journal.record_failed(hole)
+        self.telemetry.hole(
+            run_index=hole.run_index, attempts=len(hole.attempts)
+        )
         self._completed += 1
         self._emit_ready()
         if self.progress is not None:
@@ -618,11 +660,22 @@ class _Supervisor:
         if is_timeout and not run.timed_out:
             run.timed_out = True
             self.result.timeouts += 1
+            self.telemetry.timeout(
+                run_index=run.spec.run_index,
+                timeout_s=self.config.timeout_s or 0.0,
+            )
         allowed = self.config.retry.retries_for(classification)
         if classification != FATAL and attempt <= allowed:
             self.result.retries += 1
-            run.eligible_at = time.monotonic() + backoff_delay(
-                self.config.retry, run.spec.seed, attempt
+            delay = backoff_delay(self.config.retry, run.spec.seed, attempt)
+            run.eligible_at = time.monotonic() + delay
+            run.ready_at = run.eligible_at
+            self.telemetry.retry(
+                run_index=run.spec.run_index,
+                attempt=attempt,
+                error=type(exc).__name__,
+                classification=classification,
+                delay_s=delay,
             )
             return True
         if classification != FATAL and self.config.allow_partial:
@@ -642,6 +695,7 @@ class _Supervisor:
         to_run: List[_PendingRun] = []
         settled: List[RunRecord] = []
         journal_done: Set[int] = set(self.replayable)
+        started = time.monotonic()
         for spec in self.specs:
             digest = spec.digest() if self.cache is not None else ""
             if self.cache is not None:
@@ -663,7 +717,9 @@ class _Supervisor:
                     ):
                         self.result.replayed += 1
                     continue
-            to_run.append(_PendingRun(spec=spec, digest=digest))
+            to_run.append(
+                _PendingRun(spec=spec, digest=digest, ready_at=started)
+            )
 
         if self.n_jobs == 1 or len(to_run) <= 1:
             self._run_serial(to_run, settled)
@@ -686,6 +742,7 @@ class _Supervisor:
                 continue
             run = misses[spec.run_index]
             while True:
+                dispatched = time.monotonic()
                 try:
                     result, faults = _call_with_timeout(
                         self.worker, run.spec, self.config.timeout_s
@@ -704,7 +761,10 @@ class _Supervisor:
                         digest=run.digest,
                         result=result,
                         faults=faults,
-                    )
+                    ),
+                    wall_s=time.monotonic() - dispatched,
+                    wait_s=dispatched - run.ready_at,
+                    attempts=len(run.attempts) + 1,
                 )
                 break
 
@@ -791,7 +851,7 @@ class _Supervisor:
                             break
                         continue
                     for future in done:
-                        run, _ = futures.pop(future)
+                        run, dispatched = futures.pop(future)
                         try:
                             result, faults = future.result()
                         except Exception as exc:
@@ -812,7 +872,10 @@ class _Supervisor:
                                 digest=run.digest,
                                 result=result,
                                 faults=faults,
-                            )
+                            ),
+                            wall_s=time.monotonic() - dispatched,
+                            wait_s=dispatched - run.ready_at,
+                            attempts=len(run.attempts) + 1,
                         )
                     if broke:
                         break
@@ -824,6 +887,7 @@ class _Supervisor:
                 if consecutive_breaks >= 2 and jobs > self.config.min_workers:
                     jobs = max(self.config.min_workers, jobs // 2)
                     self.result.pool_shrinks += 1
+                    self.telemetry.pool_shrink(jobs=jobs)
             else:
                 consecutive_breaks = 0
             # On a clean drain the queue is already empty; after a break it
@@ -852,6 +916,7 @@ class _Supervisor:
         pool_size = getattr(pool, "_max_workers", 0)
         now = time.monotonic()  # before the kill's join grace distorts ages
         survivors = self._kill_pool(pool)
+        self.telemetry.pool_death(pool_size=pool_size, survivors=survivors)
         in_flight = sorted(
             futures.values(), key=lambda item: item[0].spec.run_index
         )
@@ -903,6 +968,7 @@ def supervise_campaign(
     resume: bool = False,
     chunk_factor: int = 4,
     sleep: Callable[[float], None] = time.sleep,
+    telemetry=None,
 ) -> SupervisedResult:
     """Execute every spec under supervision; records ordered by run index.
 
@@ -918,6 +984,13 @@ def supervise_campaign(
     index whose cache entry has meanwhile vanished or been quarantined is
     simply re-executed.  *sleep* is injectable so tests can observe backoff
     schedules without waiting them out.
+
+    *telemetry*, when given, is a
+    :class:`repro.obs.telemetry.CampaignTelemetry`-shaped sink: the
+    supervisor reports ``run_finished`` (with queue-wait and wall time),
+    ``retry``, ``timeout``, ``pool_death``, ``pool_shrink`` and ``hole``
+    events to it.  Telemetry is strictly an observer — it never alters
+    dispatch order, retry schedules, or the byte-identical result contract.
     """
     n_jobs = resolve_jobs(n_jobs)
     if chunk_factor < 1:
@@ -950,6 +1023,7 @@ def supervise_campaign(
         replayable=replayable,
         chunk_factor=chunk_factor,
         sleep=sleep,
+        telemetry=telemetry,
     )
     try:
         return supervisor.run()

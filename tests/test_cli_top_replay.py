@@ -1,0 +1,173 @@
+"""CLI surface for the telemetry fabric: ``--version``, ``campaign
+--telemetry``, ``top`` and ``replay``."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import __version__
+from repro.cli import build_parser, main
+
+GOLDEN_TRACE = Path(__file__).parent / "golden" / "trace_is_a_stock.json"
+
+
+# ----------------------------------------------------------------- --version
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.strip() == f"hpl-repro {__version__}"
+
+
+# ------------------------------------------------------ campaign --telemetry
+
+
+def test_campaign_writes_telemetry_feed(tmp_path, capsys):
+    feed = tmp_path / "telemetry.jsonl"
+    assert main([
+        "campaign", "is", "A", "--regime", "hpl", "-n", "2",
+        "--telemetry", str(feed),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry" in out
+    events = [json.loads(ln) for ln in feed.read_text().splitlines()]
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "campaign_started"
+    assert kinds[-1] == "campaign_finished"
+    assert kinds.count("run_finished") == 2
+    assert events[0]["label"] == "is.A.8"
+    assert events[0]["regime"] == "hpl"
+
+
+def test_campaign_telemetry_unwritable_path_exits_2(tmp_path, capsys):
+    assert main([
+        "campaign", "is", "A", "-n", "2",
+        "--telemetry", str(tmp_path / "no" / "such" / "dir" / "t.jsonl"),
+    ]) == 2
+    assert "telemetry" in capsys.readouterr().err
+
+
+def test_campaign_progress_renders_to_stderr(tmp_path, capsys):
+    feed = tmp_path / "t.jsonl"
+    assert main([
+        "campaign", "is", "A", "--regime", "stock", "-n", "2",
+        "--telemetry", str(feed), "--progress",
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "\r" in err and "2/2 runs" in err
+    assert err.endswith("\n")
+
+
+# ------------------------------------------------------------------- top
+
+
+def test_top_summarizes_a_feed(tmp_path, capsys):
+    feed = tmp_path / "t.jsonl"
+    assert main([
+        "campaign", "is", "A", "--regime", "hpl", "-n", "2",
+        "--telemetry", str(feed),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["top", str(feed)]) == 0
+    out = capsys.readouterr().out
+    assert "is.A.8 under hpl — finished" in out
+    assert "progress   : 2/2 runs" in out
+    assert "retries" in out and "timeouts" in out
+    assert "cache" in out and "utilization" in out
+
+
+def test_top_missing_file_exits_2(tmp_path, capsys):
+    assert main(["top", str(tmp_path / "nope.jsonl")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_top_empty_feed_exits_2(tmp_path, capsys):
+    feed = tmp_path / "empty.jsonl"
+    feed.write_text("")
+    assert main(["top", str(feed)]) == 2
+    assert "no telemetry events" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------------ replay
+
+
+def test_replay_renders_golden_trace_to_file(tmp_path, capsys):
+    out_path = tmp_path / "gantt.svg"
+    assert main(["replay", str(GOLDEN_TRACE), "-o", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "chrome format" in out
+    text = out_path.read_text()
+    assert text.startswith("<svg")
+    assert "cpu 0" in text
+
+
+def test_replay_to_stdout(tmp_path, capsys):
+    assert main(["replay", str(GOLDEN_TRACE), "-o", "-"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("<svg")
+
+
+def test_replay_is_deterministic(tmp_path):
+    a, b = tmp_path / "a.svg", tmp_path / "b.svg"
+    assert main(["replay", str(GOLDEN_TRACE), "-o", str(a)]) == 0
+    assert main(["replay", str(GOLDEN_TRACE), "-o", str(b)]) == 0
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_replay_ftrace_input(tmp_path, capsys):
+    trace = tmp_path / "t.txt"
+    trace.write_text(
+        "          10  [000]  sched_switch: prev_pid=-1 "
+        "==> next_comm=rank0 next_pid=5\n"
+        "          50  [000]  sched_switch: prev_pid=5 "
+        "==> next_comm=rank1 next_pid=6\n"
+    )
+    out_path = tmp_path / "g.svg"
+    assert main(["replay", str(trace), "--format", "ftrace",
+                 "-o", str(out_path)]) == 0
+    assert "ftrace format" in capsys.readouterr().out
+    assert "rank0" in out_path.read_text()
+
+
+def test_replay_missing_file_exits_2(tmp_path, capsys):
+    assert main(["replay", str(tmp_path / "nope.json")]) == 2
+    assert capsys.readouterr().err
+
+
+def test_replay_invalid_chrome_json_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{ not json")
+    assert main(["replay", str(bad)]) == 2
+    assert "not a Chrome trace" in capsys.readouterr().err
+
+
+def test_replay_trace_without_switches_exits_2(tmp_path, capsys):
+    empty = tmp_path / "empty.txt"
+    empty.write_text("# tracer: sched (simulated)\n")
+    assert main(["replay", str(empty)]) == 2
+    assert "no sched_switch" in capsys.readouterr().err
+
+
+def test_replay_unwritable_output_exits_2(tmp_path, capsys):
+    assert main([
+        "replay", str(GOLDEN_TRACE),
+        "-o", str(tmp_path / "no" / "dir" / "g.svg"),
+    ]) == 2
+    assert capsys.readouterr().err
+
+
+def test_parser_accepts_new_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["top", "feed.jsonl"])
+    assert args.command == "top" and args.feed == "feed.jsonl"
+    args = parser.parse_args(
+        ["replay", "t.json", "--format", "chrome", "-o", "g.svg",
+         "--width", "640", "--title", "x"]
+    )
+    assert args.command == "replay" and args.width == 640
+    with pytest.raises(SystemExit):
+        parser.parse_args(["replay", "t.json", "--format", "weird"])

@@ -11,15 +11,18 @@ Two layers:
 
 import tracemalloc
 
-from repro.experiments.runner import run_nas
+from repro.experiments.runner import run_nas, run_nas_campaign
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.kernel.perf import PerfEvents
+from repro.obs.metrics import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, NULL_REGISTRY
 from repro.topology.presets import power6_js22
 
 # Imported up-front so module-level allocations (code objects, docstrings)
 # pre-date the tracemalloc window below.
 import repro.obs.latency as _obs_latency
 import repro.obs.export as _obs_export
+import repro.obs.metrics as _obs_metrics
+import repro.obs.telemetry as _obs_telemetry
 import repro.sim.trace as _sim_trace
 
 
@@ -76,3 +79,50 @@ def test_unobserved_run_allocates_nothing_in_obs_modules():
         if stat.traceback[0].filename in obs_files and stat.count > 0
     ]
     assert not offenders, f"unobserved run allocated in obs modules: {offenders}"
+
+
+def test_null_instruments_allocate_nothing():
+    """The disabled metrics path — a no-op call through the shared null
+    singletons — performs zero Python allocations."""
+    # Warm up the registry's dispatch path outside the window.
+    c = NULL_REGISTRY.counter("warm")
+    tracemalloc.start()
+    try:
+        for _ in range(1000):
+            c.inc()
+            NULL_COUNTER.inc(3)
+            NULL_GAUGE.set(7.0)
+            NULL_GAUGE.add(1.0)
+            NULL_HISTOGRAM.observe(2.5)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    offenders = [
+        stat
+        for stat in snapshot.statistics("filename")
+        if stat.traceback[0].filename == _obs_metrics.__file__
+        and stat.count > 0
+    ]
+    assert not offenders, f"null instruments allocated: {offenders}"
+
+
+def test_campaign_without_telemetry_allocates_nothing_in_obs(tmp_path):
+    """A campaign with no telemetry sink never touches the metrics or
+    telemetry modules: the supervisor's local no-op stub absorbs every
+    report, so "telemetry off" costs method calls, not allocations."""
+    obs_files = {_obs_metrics.__file__, _obs_telemetry.__file__}
+    tracemalloc.start()
+    try:
+        run_nas_campaign(
+            "is", "A", "stock", 2, base_seed=3,
+            provenance_path=str(tmp_path / "prov.jsonl"), n_jobs=1,
+        )
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    offenders = [
+        stat
+        for stat in snapshot.statistics("filename")
+        if stat.traceback[0].filename in obs_files and stat.count > 0
+    ]
+    assert not offenders, f"telemetry-off campaign allocated: {offenders}"

@@ -1,0 +1,314 @@
+"""Campaign telemetry: the JSONL feed, its summary view, and the guarantee
+that enabling it never changes results."""
+
+from __future__ import annotations
+
+import errno
+import io
+import json
+
+import pytest
+
+from repro.apps.spmd import Program
+from repro.experiments.runner import (
+    build_campaign_specs,
+    run_nas_campaign,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    CampaignTelemetry,
+    ProgressLine,
+    read_telemetry,
+    render_top,
+    summarize_telemetry,
+)
+from repro.parallel import ResultCache, RetryPolicy, SupervisorConfig, supervise_campaign
+from repro.topology.presets import generic_smp
+from repro.units import msecs
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.t = 100.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def _tiny_program() -> Program:
+    return Program.iterative(
+        name="sup", n_iters=2, iter_work=msecs(1), init_ops=1, finalize_ops=0
+    )
+
+
+def _specs(n_runs: int, base_seed: int = 0):
+    return build_campaign_specs(
+        _tiny_program, 4, "stock", n_runs,
+        base_seed=base_seed, machine_factory=lambda: generic_smp(4),
+    )
+
+
+def _ok(spec):
+    return spec.seed * 2, None
+
+
+# ------------------------------------------------------------ feed mechanics
+
+
+def test_feed_is_flushed_jsonl_with_schema_header(tmp_path):
+    path = tmp_path / "telemetry.jsonl"
+    clock = _FakeClock()
+    tel = CampaignTelemetry(str(path), clock=clock)
+    tel.campaign_started(label="is.A", regime="hpl", n_runs=2, jobs=3)
+    clock.t += 1.5
+    tel.run_finished(run_index=0, seed=3, cache_hit=False,
+                     wait_s=0.25, wall_s=1.5, attempts=1)
+    # Flushed per line: readable before close, mid-campaign.
+    live = read_telemetry(str(path))
+    assert [e["event"] for e in live] == ["campaign_started", "run_finished"]
+    clock.t += 0.5
+    tel.run_finished(run_index=1, seed=4, cache_hit=True, attempts=0)
+    clock.t += 1.0
+    tel.campaign_finished()
+    tel.close()
+
+    events = read_telemetry(str(path))
+    header = events[0]
+    assert header["schema"] == TELEMETRY_SCHEMA_VERSION
+    assert header["label"] == "is.A" and header["jobs"] == 3
+    assert header["t"] == 0.0
+    run0 = events[1]
+    assert run0 == {
+        "event": "run_finished", "t": 1.5, "run_index": 0, "seed": 3,
+        "cache_hit": False, "wait_s": 0.25, "wall_s": 1.5, "attempts": 1,
+    }
+    fin = events[-1]
+    assert fin["event"] == "campaign_finished"
+    assert fin["completed"] == 2 and fin["cache_hits"] == 1
+    assert fin["duration_s"] == 3.0
+    # One simulated run of 1.5s wall over 3s * 3 workers.
+    assert fin["utilization"] == pytest.approx(1.5 / 9.0, abs=1e-4)
+    # The shared registry snapshot rides along.
+    counters = {c["name"]: c["value"] for c in fin["metrics"]["counters"]}
+    assert counters["campaign.runs_finished"] == 2
+
+
+def test_reader_skips_torn_trailing_line(tmp_path):
+    path = tmp_path / "feed.jsonl"
+    path.write_text(
+        json.dumps({"event": "campaign_started", "t": 0.0, "n_runs": 5}) + "\n"
+        + json.dumps({"event": "run_finished", "t": 1.0, "run_index": 0,
+                      "seed": 1, "cache_hit": False, "wall_s": 1.0}) + "\n"
+        + '{"event": "run_fini'  # torn mid-write
+    )
+    events = read_telemetry(str(path))
+    assert len(events) == 2
+
+
+def test_listeners_see_every_event():
+    seen = []
+    tel = CampaignTelemetry(listeners=(lambda e, t: seen.append(e["event"]),))
+    tel.campaign_started(label="x", regime="stock", n_runs=1, jobs=1)
+    tel.retry(run_index=0, attempt=1, error="OSError",
+              classification="transient", delay_s=0.1)
+    tel.run_finished(run_index=0, seed=1, cache_hit=False, attempts=2)
+    tel.campaign_finished()
+    assert seen == ["campaign_started", "retry", "run_finished",
+                    "campaign_finished"]
+    assert tel.retries_by_class == {"transient": 1}
+
+
+# ----------------------------------------------------- supervisor integration
+
+
+def test_supervisor_reports_runs_and_cache_hits(tmp_path):
+    specs = _specs(3)
+    tel_path = tmp_path / "t1.jsonl"
+    cache = ResultCache(str(tmp_path / "cache"))
+    tel = CampaignTelemetry(str(tel_path))
+    tel.campaign_started(label="sup", regime="stock", n_runs=3, jobs=1)
+    supervise_campaign(specs, _ok, n_jobs=1, cache=cache, telemetry=tel)
+    tel.campaign_finished()
+    tel.close()
+    events = read_telemetry(str(tel_path))
+    runs = [e for e in events if e["event"] == "run_finished"]
+    assert [r["run_index"] for r in runs] == [0, 1, 2]
+    assert all(not r["cache_hit"] for r in runs)
+    assert all(r["attempts"] == 1 for r in runs)
+    assert all(r["wall_s"] >= 0 and r["wait_s"] >= 0 for r in runs)
+
+    # Warm cache: the same campaign reports three hits and zero busy time.
+    tel2_path = tmp_path / "t2.jsonl"
+    tel2 = CampaignTelemetry(str(tel2_path))
+    tel2.campaign_started(label="sup", regime="stock", n_runs=3, jobs=1)
+    supervise_campaign(specs, _ok, n_jobs=1, cache=cache, telemetry=tel2)
+    tel2.campaign_finished()
+    tel2.close()
+    warm = read_telemetry(str(tel2_path))
+    hits = [e for e in warm if e["event"] == "run_finished"]
+    assert all(r["cache_hit"] for r in hits)
+    fin = warm[-1]
+    assert fin["cache_hits"] == 3 and fin["busy_s"] == 0.0
+
+
+def test_supervisor_reports_classified_retries(tmp_path):
+    specs = _specs(3, base_seed=1)
+    calls = {"n": 0}
+
+    def flaky(spec):
+        if spec.run_index == 1:
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise OSError(errno.EAGAIN, "transient harness fault")
+        return spec.seed, None
+
+    path = tmp_path / "flaky.jsonl"
+    tel = CampaignTelemetry(str(path))
+    tel.campaign_started(label="sup", regime="stock", n_runs=3, jobs=1)
+    supervise_campaign(
+        specs, flaky, n_jobs=1, sleep=lambda s: None, telemetry=tel,
+        config=SupervisorConfig(retry=RetryPolicy(max_retries=3)),
+    )
+    tel.campaign_finished()
+    tel.close()
+    events = read_telemetry(str(path))
+    retries = [e for e in events if e["event"] == "retry"]
+    assert len(retries) == 2
+    assert all(r["run_index"] == 1 for r in retries)
+    assert [r["attempt"] for r in retries] == [1, 2]
+    assert all(r["classification"] == "transient" for r in retries)
+    # OSError(EAGAIN) maps to the BlockingIOError subclass at construction.
+    assert all(r["error"] == "BlockingIOError" for r in retries)
+    assert all(r["delay_s"] > 0 for r in retries)
+    flaky_run = [e for e in events if e["event"] == "run_finished"
+                 and e["run_index"] == 1]
+    assert flaky_run[0]["attempts"] == 3
+    fin = events[-1]
+    assert fin["retries"] == 2
+    counters = {
+        (c["name"], c.get("labels", {}).get("classification")): c["value"]
+        for c in fin["metrics"]["counters"]
+    }
+    assert counters[("campaign.retries", "transient")] == 2
+
+
+def test_cache_metrics_flow_into_shared_registry(tmp_path):
+    tel = CampaignTelemetry()
+    cache = ResultCache(str(tmp_path / "c"), metrics=tel.registry)
+    assert cache.get("ab" * 20) is None
+    cache.put("ab" * 20, {"x": 1})
+    assert cache.get("ab" * 20) is not None
+    snap = tel.registry.snapshot()
+    counters = {c["name"]: c["value"] for c in snap["counters"]}
+    assert counters["cache.misses"] == 1
+    assert counters["cache.hits"] == 1
+
+
+# ------------------------------------------------------------- summarization
+
+
+def _synthetic_feed(*, finished: bool = True):
+    events = [
+        {"event": "campaign_started", "schema": 1, "t": 0.0, "label": "is.A",
+         "regime": "hpl", "n_runs": 4, "jobs": 2},
+        {"event": "run_finished", "t": 1.0, "run_index": 0, "seed": 3,
+         "cache_hit": False, "wait_s": 0.1, "wall_s": 0.9, "attempts": 1},
+        {"event": "retry", "t": 1.2, "run_index": 1, "attempt": 1,
+         "error": "OSError", "classification": "transient", "delay_s": 0.2},
+        {"event": "timeout", "t": 1.4, "run_index": 2, "timeout_s": 5.0},
+        {"event": "run_finished", "t": 2.0, "run_index": 1, "seed": 4,
+         "cache_hit": True, "wait_s": 0.0, "wall_s": 0.0, "attempts": 2},
+    ]
+    if finished:
+        events.append(
+            {"event": "campaign_finished", "t": 2.5, "completed": 2,
+             "total": 4, "cache_hits": 1, "retries": 1, "timeouts": 1,
+             "pool_deaths": 0, "pool_shrinks": 0, "holes": 0, "replayed": 0,
+             "duration_s": 2.5, "busy_s": 0.9, "utilization": 0.18,
+             "jobs": 2, "metrics": {}}
+        )
+    return events
+
+
+def test_summarize_finished_feed():
+    s = summarize_telemetry(_synthetic_feed())
+    assert s.label == "is.A" and s.regime == "hpl"
+    assert s.completed == 2 and s.total == 4
+    assert s.cache_hits == 1 and s.executed == 1
+    assert s.retries_by_class == {"transient": 1}
+    assert s.timeouts == 1
+    assert s.finished and s.duration_s == 2.5
+    assert s.utilization == 0.18
+    assert s.eta_s is None  # finished feeds do not extrapolate
+
+
+def test_summarize_live_feed_extrapolates_eta():
+    s = summarize_telemetry(_synthetic_feed(finished=False))
+    assert not s.finished
+    assert s.duration_s == 2.0  # timestamp of the last event seen
+    assert s.runs_per_sec == pytest.approx(1.0)
+    assert s.eta_s == pytest.approx(2.0)  # 2 remaining at 1 run/s
+    assert s.utilization == pytest.approx(0.9 / (2.0 * 2))
+
+
+def test_summarize_empty_feed_is_benign():
+    s = summarize_telemetry([])
+    assert s.completed == 0 and s.eta_s is None
+
+
+def test_render_top_mentions_every_section():
+    text = render_top(summarize_telemetry(_synthetic_feed()))
+    assert "is.A under hpl — finished" in text
+    assert "progress   : 2/4 runs" in text
+    assert "cache      : 1 hit(s), 1 simulated" in text
+    assert "transient: 1" in text
+    assert "timeouts   : 1" in text
+    assert "run wall" in text and "queue wait" in text
+
+
+# ------------------------------------------------------------- progress line
+
+
+def test_progress_line_updates_in_place_and_finishes_with_newline():
+    out = io.StringIO()
+    tel = CampaignTelemetry(
+        listeners=(ProgressLine(out, min_interval_s=0.0),)
+    )
+    tel.campaign_started(label="x", regime="stock", n_runs=2, jobs=1)
+    tel.run_finished(run_index=0, seed=1, cache_hit=True, attempts=1)
+    tel.run_finished(run_index=1, seed=2, cache_hit=False, attempts=1)
+    tel.campaign_finished()
+    text = out.getvalue()
+    assert text.count("\r") == 3  # one render per run + the final state
+    assert text.endswith("\n")
+    assert "2/2 runs" in text
+    assert "cache 1" in text
+
+
+# -------------------------------------------------- results stay bit-identical
+
+
+def test_campaign_results_bit_identical_with_telemetry_on(tmp_path):
+    """The hard constraint: telemetry is an observer.  The same campaign
+    with a telemetry sink attached produces byte-identical provenance and
+    equal results; only the sidecar feed differs."""
+    prov_off = tmp_path / "off.jsonl"
+    off = run_nas_campaign(
+        "is", "A", "stock", 2, base_seed=3,
+        provenance_path=str(prov_off), n_jobs=1,
+    )
+
+    prov_on = tmp_path / "on.jsonl"
+    tel = CampaignTelemetry(str(tmp_path / "telemetry.jsonl"))
+    on = run_nas_campaign(
+        "is", "A", "stock", 2, base_seed=3,
+        provenance_path=str(prov_on), n_jobs=1, telemetry=tel,
+    )
+    tel.close()
+
+    assert prov_off.read_bytes() == prov_on.read_bytes()
+    assert off.app_times_s() == on.app_times_s()
+    feed = read_telemetry(str(tmp_path / "telemetry.jsonl"))
+    assert feed[0]["event"] == "campaign_started"
+    assert feed[-1]["event"] == "campaign_finished"
+    assert feed[-1]["completed"] == 2
