@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-faults test-sanitize lint bench perf perf-gate report figures examples clean
+.PHONY: install test test-faults test-cluster test-sanitize lint bench perf perf-gate report figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -17,6 +17,12 @@ test-faults:
 		tests/test_faults_rank_failures.py tests/test_faults_watchdog.py \
 		tests/test_faults_zero_overhead.py tests/test_sim_stall.py \
 		tests/test_properties_faults.py
+
+# Cluster fault domains: multi-node detection/recovery, degraded modes,
+# the cluster campaign layer and its golden provenance fixture.
+test-cluster:
+	$(PY) -m pytest tests/test_cluster.py tests/test_cluster_faults.py \
+		tests/test_golden_provenance.py
 
 # Full suite with the scheduler invariant sanitizer attached to every
 # kernel (the simulator's lockdep/KASAN analog; see repro.kernel.invariants).

@@ -121,6 +121,14 @@ class MpiApplication:
         #: multi-node coordinator schedules app._release itself once every
         #: node arrived); False/None keeps single-node semantics.
         self.collective_bridge = None
+        #: Cross-node failure hook: called as fn(app) when local detection
+        #: fires.  Return True to hand the abort/restart decision to the
+        #: cluster coordinator; False/None keeps single-node semantics.
+        self.failure_bridge = None
+        #: Work multiplier for shrink-to-fit re-decomposition (cluster
+        #: recovery).  Exactly 1.0 outside degraded mode, where the
+        #: `_draw_work` branch applying it is never taken.
+        self.work_scale = 1.0
         #: Per-run condition factor applied to all compute work.
         self._run_factor = 1.0
         if program.run_jitter_sigma > 0:
@@ -221,6 +229,8 @@ class MpiApplication:
 
     def _draw_work(self, phase: Phase, rank_index: int) -> int:
         work = phase.work * self._run_factor
+        if self.work_scale != 1.0:
+            work *= self.work_scale
         if phase.jitter_sigma > 0:
             work *= self.kernel.sim.rng.lognormal(
                 f"{self.rng_label}.jitter", 0.0, phase.jitter_sigma
@@ -427,6 +437,8 @@ class MpiApplication:
         ft = self.fault_tolerance
         if self.stats.detection_latency_us is None and self._crash_time is not None:
             self.stats.detection_latency_us = self.kernel.now - self._crash_time
+        if self.failure_bridge is not None and self.failure_bridge(self):
+            return  # the cluster coordinator owns the abort/restart decision
         if ft.mode == "abort" or self.stats.restarts >= ft.max_restarts:
             self._abort()
         else:
@@ -467,15 +479,17 @@ class MpiApplication:
         for rank in self.ranks:
             self._respawn(rank)
 
-    def _respawn(self, rank: _RankState) -> None:
+    def _respawn(self, rank: _RankState, restart_cost: Optional[int] = None) -> None:
         """Re-fork one rank at the last checkpoint.
 
         The new task runs a bootstrap segment of ``restart_cost`` work
         (restoring the checkpoint image) and then resumes the phase list
         right after the checkpointed collective."""
+        if restart_cost is None:
+            restart_cost = self.fault_tolerance.restart_cost
         task = self.kernel.spawn(
             f"{self.program.name}.r{rank.index}",
-            work=max(1, self.fault_tolerance.restart_cost),
+            work=max(1, restart_cost),
             on_segment_end=lambda: None,
             **rank.spawn_kwargs,
         )
@@ -488,6 +502,77 @@ class MpiApplication:
         rank.pos = self._checkpoint_pos
         task.on_segment_end = lambda r=rank: self._advance(r)
         self.kernel.sched_exec(task)
+
+    # ------------------------------------------------- cluster coordination
+
+    def cluster_rollback(self, checkpoint_pos: int, restart_cost: int) -> None:
+        """Coordinated rollback driven by the cluster coordinator.
+
+        Unlike :meth:`_restart`, the checkpoint position and restore cost
+        come from the *cluster-wide* coordinated checkpoint, not this node's
+        local policy.  A survivor that already finished its post-collective
+        tail is resurrected at the checkpoint like everyone else."""
+        self.stats.restarts += 1
+        self.stats.ranks_exited = 0
+        self.stats.finished_at = None
+        self._teardown_incarnation()
+        self._checkpoint_pos = checkpoint_pos
+        self._checkpoint_time = self.kernel.now
+        for rank in self.ranks:
+            self._respawn(rank, restart_cost)
+
+    def adopt_restart(
+        self,
+        checkpoint_pos: int,
+        restart_cost: int,
+        *,
+        policy: Optional[str] = None,
+        rt_priority: int = 0,
+        nice: int = 0,
+        pin: bool = False,
+        pin_cpus: Optional[List[int]] = None,
+    ) -> None:
+        """Spare-node failover: launch this never-started application
+        directly into the cluster checkpoint.
+
+        Every rank boots with a ``restart_cost`` restore segment and then
+        resumes right after collective *checkpoint_pos* — the spare adopts
+        the dead node's shard mid-program."""
+        if self.ranks:
+            raise RuntimeError("adopt_restart needs a never-launched application")
+        now = self.kernel.now
+        self.stats.started_at = now
+        self._checkpoint_pos = checkpoint_pos
+        self._checkpoint_time = now
+        for index in range(self.nprocs):
+            kwargs: Dict[str, object] = {}
+            if policy is not None:
+                kwargs["policy"] = policy
+                kwargs["rt_priority"] = rt_priority
+            if pin_cpus is not None:
+                if len(pin_cpus) < self.nprocs:
+                    raise ValueError("pin_cpus must cover every rank")
+                kwargs["affinity"] = frozenset({pin_cpus[index]})
+            elif pin:
+                kwargs["affinity"] = frozenset({index % self.kernel.machine.n_cpus})
+            task = self.kernel.spawn(
+                f"{self.program.name}.r{index}",
+                nice=nice,
+                work=max(1, restart_cost),
+                on_segment_end=lambda: None,
+                **kwargs,
+            )
+            rank = _RankState(index, task)
+            rank.spawn_kwargs = dict(kwargs, nice=nice)
+            task.user_data = rank
+            if task.warmth is not None:
+                if self.cold_speed is not None:
+                    task.warmth.cold_speed = self.cold_speed
+                task.warmth.rewarm_scale = self.rewarm_scale
+            rank.pos = checkpoint_pos
+            task.on_segment_end = lambda r=rank: self._advance(r)
+            self.ranks.append(rank)
+            self.kernel.sched_exec(task)
 
     # ------------------------------------------------------------- lifetime
 

@@ -347,12 +347,45 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("-n", "--runs", type=_positive_int, default=1,
                         help="repetitions; >1 runs a faulted campaign and "
                              "summarizes instead of printing the fault log")
+    cluster = faults.add_argument_group(
+        "cluster fault domains",
+        "multi-node co-simulation: node fail-stop, stragglers, slow links",
+    )
+    cluster.add_argument("--cluster", action="store_true",
+                         help="run the benchmark across a co-simulated "
+                              "multi-node cluster instead of one node")
+    cluster.add_argument("--nodes", type=_positive_int, default=3,
+                         metavar="N", help="participant nodes (default 3)")
+    cluster.add_argument("--spares", type=_nonneg_int, default=0,
+                         metavar="S",
+                         help="pre-provisioned spare nodes for failover")
+    cluster.add_argument("--crash-node", type=_nonneg_int, default=None,
+                         metavar="K", help="fail-stop node K mid-run")
+    cluster.add_argument("--slow-node", type=_nonneg_int, default=None,
+                         metavar="K", help="make node K a straggler mid-run")
+    cluster.add_argument("--slow-factor", type=float, default=0.5,
+                         metavar="F",
+                         help="straggler compute-rate factor (default 0.5)")
+    cluster.add_argument("--slow-for", type=_positive_int, default=50_000,
+                         metavar="US",
+                         help="straggler window length (default 50000)")
+    cluster.add_argument("--degrade-link", type=_positive_int, default=None,
+                         metavar="US",
+                         help="inflate internode latency by US mid-run")
+    cluster.add_argument("--degrade-for", type=_positive_int, default=50_000,
+                         metavar="US",
+                         help="link-degrade window length (default 50000)")
+    cluster.add_argument("--recover", default="failover",
+                         choices=["failover", "shrink"],
+                         help="restart-mode placement of a lost shard "
+                              "(default failover)")
     _add_exec_flags(faults)
     _add_telemetry_flags(faults)
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp.add_argument("exp_id", help="fig1 fig2 fig3 fig4 tab1a tab1b tab2 policy "
-                                    "resonance multinode decompose resilience")
+                                    "resonance multinode decompose resilience "
+                                    "cluster-resilience")
     exp.add_argument("-n", "--runs", type=_positive_int, default=50)
     exp.add_argument("--seed", type=_nonneg_int, default=0)
     _add_exec_flags(exp)
@@ -670,6 +703,163 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults_cluster(args: argparse.Namespace) -> int:
+    """The --cluster arm of 'hpl-repro faults': one benchmark sharded
+    across N co-simulated nodes, under node-scoped fault domains."""
+    from repro.topology.presets import power6_js22
+    from repro.apps.nas import nas_program, nas_spec
+    from repro.cluster.multinode import ClusterIncompleteError, ClusterJob
+    from repro.experiments.runner import _JOB_START, run_cluster_campaign
+    from repro.faults import ClusterTolerance, FaultEvent, FaultKind, FaultPlan
+
+    if args.regime not in ("stock", "hpl", "rt"):
+        print(f"error: --cluster supports regimes stock, hpl, rt "
+              f"(got {args.regime!r})", file=sys.stderr)
+        return 2
+    try:
+        spec = nas_spec(args.bench, args.klass)
+    except KeyError:
+        print(f"error: unknown benchmark {args.bench}.{args.klass} "
+              f"(see 'hpl-repro list')", file=sys.stderr)
+        return 2
+    for flag, value in (("--crash-node", args.crash_node),
+                        ("--slow-node", args.slow_node)):
+        if value is not None and value >= args.nodes:
+            print(f"error: {flag} {value} targets a node outside the "
+                  f"{args.nodes}-node cluster", file=sys.stderr)
+            return 2
+
+    machine = power6_js22()
+    program = nas_program(spec, machine)
+    nprocs_per_node = max(1, spec.nprocs // args.nodes)
+    fault_at = _JOB_START + int(args.offline_at_frac * spec.target_time)
+
+    events_by_node: dict = {}
+    if args.crash_node is not None:
+        events_by_node.setdefault(args.crash_node, []).append(
+            FaultEvent(at=fault_at, kind=FaultKind.NODE_CRASH))
+    if args.slow_node is not None:
+        events_by_node.setdefault(args.slow_node, []).append(
+            FaultEvent(at=fault_at, kind=FaultKind.NODE_SLOWDOWN,
+                       factor=args.slow_factor, duration=args.slow_for))
+    if args.degrade_link is not None:
+        events_by_node.setdefault(0, []).append(
+            FaultEvent(at=fault_at, kind=FaultKind.LINK_DEGRADE,
+                       latency=args.degrade_link, duration=args.degrade_for))
+    plans = {
+        node: FaultPlan.schedule(events, label=f"cli-node{node}")
+        for node, events in sorted(events_by_node.items())
+    } or None
+    tolerance = ClusterTolerance(
+        mode=args.ft_mode,
+        recover=args.recover,
+        detection_timeout=args.detection_timeout,
+        checkpoint_every=args.checkpoint_every,
+        restart_cost=args.restart_cost,
+    )
+
+    if args.runs > 1:
+        from repro.parallel.engine import CampaignRunError
+        from repro.parallel.supervisor import NoJournalError
+
+        if not _resume_usable(args):
+            return 2
+        if args.telemetry is not None:
+            reason = _unwritable(args.telemetry)
+            if reason is not None:
+                print(f"error: cannot write --telemetry {args.telemetry}: "
+                      f"{reason}", file=sys.stderr)
+                return 2
+        telemetry = _make_telemetry(args)
+        try:
+            campaign = run_cluster_campaign(
+                lambda: program, args.nodes, args.regime, args.runs,
+                base_seed=args.seed,
+                nprocs_per_node=nprocs_per_node,
+                fault_plans=plans, tolerance=tolerance,
+                spare_nodes=args.spares,
+                label=f"{spec.label}@{args.nodes}n",
+                n_jobs=args.jobs, use_cache=args.use_cache,
+                supervise=_supervisor_config(args), resume=args.resume,
+                telemetry=telemetry,
+            )
+        except NoJournalError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except CampaignRunError as exc:
+            # Expected under --ft-mode abort with a crash planned: the job
+            # fail-stops by design.  Summarize instead of tracebacking.
+            print(f"campaign failed: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            if telemetry is not None:
+                telemetry.close()
+        n_events = sum(len(p) for p in (plans or {}).values())
+        print(f"{campaign.label} under {args.regime}, {args.runs} runs, "
+              f"{args.nodes} node(s) + {args.spares} spare(s), "
+              f"{n_events} planned fault event(s):")
+        if campaign.results:
+            times = summarize(campaign.app_times_s())
+            print(f"  time  min {times.minimum:.2f}  avg {times.mean:.2f}  "
+                  f"max {times.maximum:.2f}  var {times.variation:.2f}%")
+            print(f"  completed {len(campaign.results)}/{args.runs}  "
+                  f"detections {campaign.total_detections()}  "
+                  f"restarts {campaign.total_restarts()}  "
+                  f"failovers {campaign.total_failovers()}")
+        else:
+            print("  (no repetition completed — every run is a hole)")
+        print(f"  exec  {campaign.jobs} worker(s), "
+              f"{campaign.cache_hits}/{campaign.n_runs} runs from cache")
+        _print_supervision(campaign, args)
+        if args.telemetry:
+            print(f"  telemetry  -> {args.telemetry}")
+        return 0
+
+    job = ClusterJob(
+        program,
+        n_nodes=args.nodes,
+        nprocs_per_node=nprocs_per_node,
+        regime=args.regime,
+        seed=args.seed,
+        fault_plans=plans,
+        tolerance=tolerance,
+        spare_nodes=args.spares,
+    )
+    try:
+        result = job.run()
+    except ClusterIncompleteError as exc:
+        print(f"{spec.label} across {args.nodes} node(s) under {args.regime} "
+              f"(seed {args.seed}): FAILED")
+        print(exc)
+        return 1
+    print(f"{spec.label} across {result.n_nodes} node(s) under {args.regime} "
+          f"(seed {args.seed}, {nprocs_per_node} ranks/node):")
+    print(f"  execution time  : {result.app_time_s:.3f} s")
+    print(f"  surviving nodes : {result.surviving_nodes} "
+          f"(+{len(job._idle_spares)} idle spare(s))")
+    if result.faults_injected or result.detections:
+        print(f"  node crashes    : {result.node_crashes}")
+        print(f"  detections      : {result.detections}"
+              + (f"  (latency {result.detection_latency_us} us)"
+                 if result.detection_latency_us is not None else ""))
+        print(f"  restarts        : {result.restarts}  "
+              f"failovers {result.failovers}  shrinks {result.shrinks}")
+        print(f"  lost work       : {result.lost_work_us} us")
+        print(f"  recovery time   : {result.recovery_time_us} us")
+    print("  fault log:")
+    fired = [
+        (applied.time, handle.index, applied)
+        for handle in job.nodes if handle.injector is not None
+        for applied in handle.injector.applied
+    ]
+    if not fired:
+        print("    (no faults fired before completion)")
+    for time_, node, applied in sorted(fired, key=lambda x: (x[0], x[1])):
+        print(f"    t={time_:>10} node{node} "
+              f"{applied.event.kind:<13} {applied.note}")
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.units import msecs
     from repro.topology.presets import power6_js22
@@ -677,6 +867,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.experiments.runner import _JOB_START, run_nas_faulted
     from repro.faults import FaultEvent, FaultKind, FaultPlan, FaultTolerance
 
+    if args.cluster:
+        return _cmd_faults_cluster(args)
     try:
         spec = nas_spec(args.bench, args.klass)
     except KeyError:

@@ -15,7 +15,12 @@ delays into cluster-scale predictions:
 """
 
 from repro.cluster.amdahl import amdahl_speedup, efficiency, serial_fraction_from_speedup
-from repro.cluster.multinode import ClusterJob, ClusterResult, run_cluster_job
+from repro.cluster.multinode import (
+    ClusterIncompleteError,
+    ClusterJob,
+    ClusterResult,
+    run_cluster_job,
+)
 from repro.cluster.resonance import (
     DelayProfile,
     ResonancePoint,
@@ -35,6 +40,7 @@ __all__ = [
     "measure_phase_delays",
     "resonance_curve",
     "spare_core_comparison",
+    "ClusterIncompleteError",
     "ClusterJob",
     "ClusterResult",
     "run_cluster_job",

@@ -6,7 +6,9 @@ is indexed in DESIGN.md §4 and exercised by ``benchmarks/``.
 
 from repro.experiments.runner import (
     CampaignResult,
+    ClusterCampaignResult,
     run_campaign,
+    run_cluster_campaign,
     run_nas,
     run_nas_campaign,
 )
@@ -19,7 +21,9 @@ from repro.experiments.sweeps import (
 
 __all__ = [
     "CampaignResult",
+    "ClusterCampaignResult",
     "run_campaign",
+    "run_cluster_campaign",
     "run_nas",
     "run_nas_campaign",
     "SweepResult",

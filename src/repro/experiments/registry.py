@@ -171,6 +171,16 @@ def _resilience(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache:
     )
 
 
+def _cluster_resilience(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
+    from repro.experiments.resilience import cluster_resilience_campaign
+
+    return cluster_resilience_campaign(
+        n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache,
+        supervise=supervise, resume=resume,
+    )
+
+
 def _decomposition(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
           supervise=None, resume: bool = False):
     from repro.analysis.decomposition import decompose_nas_noise
@@ -234,6 +244,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "resilience", "SS IV (robustness extension)",
         "Graceful degradation: 0/1/2 cores offlined mid-run, stock vs HPL",
         _resilience,
+    ),
+    "cluster-resilience": Experiment(
+        "cluster-resilience", "SS II (fault-domain extension)",
+        "Multi-node recovery: node crash, straggler, degraded link — "
+        "stock vs HPL vs RT",
+        _cluster_resilience,
     ),
 }
 

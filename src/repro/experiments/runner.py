@@ -24,6 +24,7 @@ from repro.apps.nas import NasSpec, nas_program, nas_spec
 from repro.apps.spmd import Program
 from repro.faults import (
     AppliedFault,
+    ClusterTolerance,
     FaultInjector,
     FaultPlan,
     FaultTolerance,
@@ -48,6 +49,9 @@ __all__ = [
     "run_campaign",
     "run_nas_campaign",
     "CampaignResult",
+    "ClusterCampaignResult",
+    "build_cluster_specs",
+    "run_cluster_campaign",
 ]
 
 #: Named kernel/mode regimes used throughout the experiments:
@@ -790,4 +794,360 @@ def run_nas_campaign(
         resume=resume,
         resume_missing_ok=resume_missing_ok,
         telemetry=telemetry,
+    )
+
+
+# --------------------------------------------------------- cluster campaigns
+
+#: Regimes ClusterJob accepts (a subset of KERNEL_VARIANTS: multi-node runs
+#: launch through MpiApplication directly, so only kernel-variant/policy
+#: regimes apply — nice/pinned are launcher-chain features).
+CLUSTER_REGIMES: Tuple[str, ...] = ("stock", "hpl", "rt")
+
+
+def _execute_cluster_spec(spec: "ClusterRunSpec") -> Tuple["ClusterResult", Optional[Dict]]:
+    """Execute one multi-node campaign repetition from a picklable spec.
+
+    The cluster analogue of :func:`_execute_spec`: module-level, a pure
+    function of the spec's content, and it flattens the fault domain's
+    account (per-node plan digests + the coordinator's detection/recovery
+    accounting) into the provenance ``faults`` object before crossing back
+    over the process boundary.
+    """
+    from repro.cluster.multinode import ClusterJob
+
+    machines = spec.machines
+    job = ClusterJob(
+        spec.program,
+        n_nodes=spec.n_nodes,
+        nprocs_per_node=spec.nprocs_per_node,
+        regime=spec.regime,
+        seed=spec.seed,
+        machine_factories=(
+            [lambda m=m: m for m in machines] if machines is not None else None
+        ),
+        noise=spec.noise,
+        internode_latency=spec.internode_latency,
+        fault_plans=(
+            dict(spec.fault_plans) if spec.fault_plans is not None else None
+        ),
+        tolerance=spec.tolerance,
+        spare_nodes=spec.spare_nodes,
+    )
+    result = job.run()
+    faults: Optional[Dict] = None
+    if spec.fault_plans:
+        faults = {
+            "plans": {
+                str(node): {
+                    "label": plan.label,
+                    "digest": plan.digest(),
+                    "n_events": len(plan),
+                }
+                for node, plan in spec.fault_plans
+            },
+            "tolerance": (
+                spec.tolerance.as_dict() if spec.tolerance is not None else None
+            ),
+            "injected": result.faults_injected,
+            "node_crashes": result.node_crashes,
+            "detections": result.detections,
+            "restarts": result.restarts,
+            "failovers": result.failovers,
+            "shrinks": result.shrinks,
+            "detection_latency_us": result.detection_latency_us,
+            "lost_work_us": result.lost_work_us,
+            "recovery_time_us": result.recovery_time_us,
+        }
+    return result, faults
+
+
+@dataclass
+class ClusterCampaignResult:
+    """N repetitions of one multi-node configuration."""
+
+    label: str
+    regime: str
+    results: List["ClusterResult"]
+    jobs: int = 1
+    cache_hits: int = 0
+    holes: List[int] = field(default_factory=list)
+    retries: int = 0
+    replayed: int = 0
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.results)
+
+    def app_times_s(self) -> List[float]:
+        return [r.app_time_s for r in self.results]
+
+    def total_detections(self) -> int:
+        return sum(r.detections for r in self.results)
+
+    def total_restarts(self) -> int:
+        return sum(r.restarts for r in self.results)
+
+    def total_failovers(self) -> int:
+        return sum(r.failovers for r in self.results)
+
+
+def build_cluster_specs(
+    program_factory: Callable[[], Program],
+    n_nodes: int,
+    regime: str,
+    n_runs: int,
+    *,
+    base_seed: int = 0,
+    nprocs_per_node: int = 8,
+    machine_factory: Callable[[], Machine] = power6_js22,
+    machine_factories: Optional[List[Callable[[], Machine]]] = None,
+    noise: Optional[NoiseProfile] = None,
+    internode_latency: int = 30,
+    fault_plans: Optional[Dict[int, FaultPlan]] = None,
+    fault_plans_factory: Optional[
+        Callable[[int, int], Optional[Dict[int, FaultPlan]]]
+    ] = None,
+    tolerance: Optional[ClusterTolerance] = None,
+    spare_nodes: int = 0,
+) -> List["ClusterRunSpec"]:
+    """Materialize a multi-node campaign's repetitions as picklable specs.
+
+    Mirrors :func:`build_campaign_specs`: factories run here, in the
+    parent, in run-index order.  ``machine_factories`` (n_nodes or
+    n_nodes + spare_nodes entries) builds a heterogeneous cluster — e.g.
+    one half-speed straggler node; ``fault_plans_factory(run_index, seed)``
+    yields a per-repetition ``{node: plan}`` map (None = fault-free run).
+    """
+    from repro.parallel.jobspec import ClusterRunSpec
+
+    if regime not in CLUSTER_REGIMES:
+        raise ValueError(
+            f"unknown cluster regime {regime!r}; choose from {CLUSTER_REGIMES}"
+        )
+    if fault_plans is not None and fault_plans_factory is not None:
+        raise ValueError("pass fault_plans or fault_plans_factory, not both")
+    total_nodes = n_nodes + spare_nodes
+    if machine_factories is not None and len(machine_factories) not in (
+        n_nodes,
+        total_nodes,
+    ):
+        raise ValueError("machine_factories must have one entry per node")
+    specs: List[ClusterRunSpec] = []
+    for i in range(n_runs):
+        seed = _derive_seed(base_seed, i)
+        plans = fault_plans
+        if fault_plans_factory is not None:
+            plans = fault_plans_factory(i, seed)
+        machines: Optional[Tuple[Machine, ...]] = None
+        if machine_factories is not None:
+            machines = tuple(f() for f in machine_factories)
+        specs.append(
+            ClusterRunSpec(
+                run_index=i,
+                seed=seed,
+                program=program_factory(),
+                n_nodes=n_nodes,
+                nprocs_per_node=nprocs_per_node,
+                regime=regime,
+                machines=machines,
+                noise=noise,
+                internode_latency=internode_latency,
+                fault_plans=(
+                    tuple(sorted(plans.items())) if plans else None
+                ),
+                tolerance=tolerance,
+                spare_nodes=spare_nodes,
+            )
+        )
+    return specs
+
+
+def run_cluster_campaign(
+    program_factory: Callable[[], Program],
+    n_nodes: int,
+    regime: str,
+    n_runs: int,
+    *,
+    base_seed: int = 0,
+    nprocs_per_node: int = 8,
+    machine_factory: Callable[[], Machine] = power6_js22,
+    machine_factories: Optional[List[Callable[[], Machine]]] = None,
+    noise: Optional[NoiseProfile] = None,
+    internode_latency: int = 30,
+    fault_plans: Optional[Dict[int, FaultPlan]] = None,
+    fault_plans_factory: Optional[
+        Callable[[int, int], Optional[Dict[int, FaultPlan]]]
+    ] = None,
+    tolerance: Optional[ClusterTolerance] = None,
+    spare_nodes: int = 0,
+    label: str = "",
+    provenance_path: Optional[str] = None,
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    supervise: Optional["SupervisorConfig"] = None,
+    resume: bool = False,
+    resume_missing_ok: bool = False,
+    telemetry: Optional["CampaignTelemetry"] = None,
+) -> ClusterCampaignResult:
+    """Run *n_runs* independent multi-node repetitions.
+
+    The cluster analogue of :func:`run_campaign`, sharing the same
+    execution fabric — the supervised parallel engine, the content-
+    addressed result cache, journal/resume, streaming telemetry — so every
+    invariant that holds for single-node campaigns (bit-identical results
+    at any ``--jobs``, cache soundness, auditable holes) holds here too.
+    Provenance records use :func:`~repro.obs.provenance.cluster_run_record`
+    (``kind: "cluster"``); faulted repetitions additionally bump the
+    ``cluster.detections`` / ``cluster.restarts`` / ``cluster.failovers``
+    telemetry counters, so a resilience campaign's recovery traffic shows
+    up in the metrics snapshot next to cache and retry counts.
+    """
+    import time as _time
+
+    from repro.obs.provenance import (
+        append_record,
+        campaign_record,
+        cluster_run_record,
+    )
+    from repro.parallel.cache import ResultCache
+    from repro.parallel.engine import resolve_jobs
+    from repro.parallel.supervisor import (
+        NoJournalError,
+        SupervisorConfig,
+        campaign_digest,
+        journal_path_for,
+        supervise_campaign,
+    )
+
+    if n_runs < 1:
+        raise ValueError("n_runs must be >= 1")
+    specs = build_cluster_specs(
+        program_factory,
+        n_nodes,
+        regime,
+        n_runs,
+        base_seed=base_seed,
+        nprocs_per_node=nprocs_per_node,
+        machine_factory=machine_factory,
+        machine_factories=machine_factories,
+        noise=noise,
+        internode_latency=internode_latency,
+        fault_plans=fault_plans,
+        fault_plans_factory=fault_plans_factory,
+        tolerance=tolerance,
+        spare_nodes=spare_nodes,
+    )
+    jobs = resolve_jobs(n_jobs)
+    cache = (
+        ResultCache(
+            cache_dir,
+            metrics=telemetry.registry if telemetry is not None else None,
+        )
+        if use_cache
+        else None
+    )
+    if resume and cache is None:
+        raise NoJournalError(
+            "<caching disabled> — --resume replays finished runs from the "
+            "result cache, so it cannot be combined with --no-cache"
+        )
+    journal_path = (
+        journal_path_for(cache.root, campaign_digest(specs))
+        if cache is not None
+        else None
+    )
+    if resume and resume_missing_ok and journal_path is not None:
+        if not journal_path.is_file():
+            resume = False  # nothing to replay; run this campaign fresh
+    config = supervise or SupervisorConfig()
+    started_at = _time.time()
+    bench = label or specs[0].program.name
+
+    prov_fh = open(provenance_path, "w", encoding="utf-8") if provenance_path else None
+
+    def on_record(record) -> None:
+        if record.faults and telemetry is not None:
+            reg = telemetry.registry
+            reg.counter("cluster.detections").inc(record.faults["detections"])
+            reg.counter("cluster.restarts").inc(record.faults["restarts"])
+            reg.counter("cluster.failovers").inc(record.faults["failovers"])
+        if prov_fh is None:
+            return
+        append_record(
+            prov_fh,
+            cluster_run_record(
+                record.result,
+                bench=bench,
+                regime=regime,
+                run_index=record.run_index,
+                seed=record.seed,
+                faults=record.faults,
+            ),
+        )
+
+    if telemetry is not None:
+        telemetry.campaign_started(
+            label=label or specs[0].program.name,
+            regime=regime,
+            n_runs=n_runs,
+            jobs=jobs,
+        )
+    try:
+        supervised = supervise_campaign(
+            specs,
+            _execute_cluster_spec,
+            n_jobs=jobs,
+            cache=cache,
+            config=config,
+            progress=progress,
+            on_record=on_record,
+            journal_path=journal_path,
+            resume=resume,
+            telemetry=telemetry,
+        )
+    finally:
+        if prov_fh is not None:
+            prov_fh.close()
+    if telemetry is not None:
+        telemetry.campaign_finished(replayed=supervised.replayed)
+
+    records = supervised.records
+    results = [r.result for r in records]
+    cache_hits = sum(1 for r in records if r.cache_hit)
+    misses = n_runs - cache_hits - len(supervised.holes)
+    if provenance_path:
+        meta = campaign_record(
+            bench=label or specs[0].program.name,
+            regime=regime,
+            n_runs=n_runs,
+            base_seed=base_seed,
+            jobs=jobs,
+            cache_hits=cache_hits,
+            cache_misses=misses,
+            started_at=started_at,
+            finished_at=_time.time(),
+            retries=supervised.retries,
+            timeouts=supervised.timeouts,
+            pool_shrinks=supervised.pool_shrinks,
+            holes=[h.as_dict() for h in supervised.holes],
+            resumed=resume,
+            replayed=supervised.replayed,
+        )
+        with open(provenance_path + ".meta.json", "w", encoding="utf-8") as fh:
+            import json as _json
+
+            _json.dump(meta, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return ClusterCampaignResult(
+        label=label or specs[0].program.name,
+        regime=regime,
+        results=results,
+        jobs=jobs,
+        cache_hits=cache_hits,
+        holes=supervised.hole_indices,
+        retries=supervised.retries,
+        replayed=supervised.replayed,
     )

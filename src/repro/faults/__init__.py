@@ -20,11 +20,12 @@ what breaks, and when.
 
 from repro.faults.injector import AppliedFault, FaultInjector
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
-from repro.faults.tolerance import FaultTolerance
+from repro.faults.tolerance import ClusterTolerance, FaultTolerance
 from repro.faults.watchdog import StarvationIncident, StarvationWatchdog, WatchdogConfig
 
 __all__ = [
     "AppliedFault",
+    "ClusterTolerance",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",

@@ -50,6 +50,8 @@ class FaultInjector:
         *,
         app=None,
         trace=None,
+        cluster=None,
+        node_index: int = 0,
     ) -> None:
         self.kernel = kernel
         self.plan = plan
@@ -57,6 +59,13 @@ class FaultInjector:
         self.app = app
         #: Optional SchedTrace receiving a MARK per fault.
         self.trace = trace
+        #: Cluster coordinator (``repro.cluster.multinode.ClusterJob``) the
+        #: cluster-scoped kinds route through; None = those kinds are
+        #: skipped (``node_slowdown`` still works: it scales this kernel).
+        self.cluster = cluster
+        #: Which node of the cluster this injector is armed on (resolves
+        #: ``node=None`` events to "this node").
+        self.node_index = node_index
         self.applied: List[AppliedFault] = []
         self._armed = False
         self._spawned = 0
@@ -87,6 +96,9 @@ class FaultInjector:
             FaultKind.RANK_CRASH: self._rank_crash,
             FaultKind.RUNAWAY: self._runaway,
             FaultKind.NOISE_BURST: self._noise_burst,
+            FaultKind.NODE_CRASH: self._node_crash,
+            FaultKind.NODE_SLOWDOWN: self._node_slowdown,
+            FaultKind.LINK_DEGRADE: self._link_degrade,
         }[ev.kind]
         note = handler(ev)
         now = self.kernel.now
@@ -158,6 +170,41 @@ class FaultInjector:
             task.on_segment_end = lambda t=task: self.kernel.exit(t)
             pids.append(task.pid)
         return f"ok: pids {pids[0]}..{pids[-1]}"
+
+    # ----------------------------------------------------- cluster-scoped
+
+    def _node_crash(self, ev: FaultEvent) -> str:
+        if self.cluster is None:
+            return "skipped: no cluster coordinator"
+        target = ev.node if ev.node is not None else self.node_index
+        return self.cluster.inject_node_crash(target)
+
+    def _node_slowdown(self, ev: FaultEvent) -> str:
+        target = ev.node if ev.node is not None else self.node_index
+        if self.cluster is not None:
+            return self.cluster.inject_node_slowdown(
+                target, ev.factor, ev.duration
+            )
+        if target != self.node_index:
+            return f"skipped: no cluster coordinator for node {target}"
+        # Single-node: scale this kernel directly for the window.
+        kernel = self.kernel
+        kernel.set_speed_scale(ev.factor)
+        kernel.sim.after(
+            max(1, ev.duration),
+            lambda: kernel.set_speed_scale(1.0),
+            priority=3,
+            label="fault:node_slowdown:restore",
+        )
+        return f"ok: rate x{ev.factor} for {ev.duration}us"
+
+    def _link_degrade(self, ev: FaultEvent) -> str:
+        if self.cluster is None:
+            return "skipped: no cluster coordinator"
+        node = ev.node if ev.node is not None else None
+        return self.cluster.inject_link_degrade(
+            node, ev.peer, ev.latency, ev.duration
+        )
 
     # ------------------------------------------------------------- reports
 

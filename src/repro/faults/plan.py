@@ -40,8 +40,20 @@ class FaultKind:
     RUNAWAY = "runaway"
     #: A burst of short-lived noise tasks (cron storm analog).
     NOISE_BURST = "noise_burst"
+    #: Fail-stop of a whole node: kernel, daemons and ranks all vanish.
+    NODE_CRASH = "node_crash"
+    #: Straggler: scale a node's effective compute rate for a window.
+    NODE_SLOWDOWN = "node_slowdown"
+    #: Inflate the internode latency for a window (or one node pair).
+    LINK_DEGRADE = "link_degrade"
 
-    ALL = (CPU_OFFLINE, CPU_ONLINE, RANK_CRASH, RUNAWAY, NOISE_BURST)
+    #: Faults a single :class:`~repro.kernel.kernel.Kernel` can absorb.
+    LOCAL = (CPU_OFFLINE, CPU_ONLINE, RANK_CRASH, RUNAWAY, NOISE_BURST)
+    #: Faults that only make sense against a multi-node cluster job
+    #: (``node_slowdown`` also works single-node: it scales that kernel).
+    CLUSTER = (NODE_CRASH, NODE_SLOWDOWN, LINK_DEGRADE)
+
+    ALL = LOCAL + CLUSTER
 
 
 @dataclass(frozen=True)
@@ -52,7 +64,12 @@ class FaultEvent:
     * ``rank_crash`` — ``rank``;
     * ``runaway`` — ``duration`` (µs of compute), ``policy``,
       ``rt_priority``;
-    * ``noise_burst`` — ``count`` workers of ``work`` µs each.
+    * ``noise_burst`` — ``count`` workers of ``work`` µs each;
+    * ``node_crash`` — ``node`` (None = the node this plan is armed on);
+    * ``node_slowdown`` — ``factor`` in (0, 1) for ``duration`` µs,
+      optional ``node``;
+    * ``link_degrade`` — extra ``latency`` µs for ``duration`` µs,
+      optional ``node``/``peer`` pair (both None = every link).
     """
 
     at: int
@@ -64,6 +81,10 @@ class FaultEvent:
     rt_priority: int = 0
     count: int = 0
     work: int = 0
+    node: Optional[int] = None
+    factor: float = 1.0
+    latency: int = 0
+    peer: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -84,6 +105,28 @@ class FaultEvent:
         elif self.kind == FaultKind.NOISE_BURST:
             if self.count <= 0 or self.work <= 0:
                 raise ValueError("noise_burst needs positive count and work")
+        elif self.kind == FaultKind.NODE_CRASH:
+            if self.node is not None and self.node < 0:
+                raise ValueError("node_crash node index cannot be negative")
+        elif self.kind == FaultKind.NODE_SLOWDOWN:
+            if self.duration <= 0:
+                raise ValueError("node_slowdown needs a positive duration")
+            if not 0.0 < self.factor < 1.0:
+                raise ValueError("node_slowdown needs factor in (0, 1)")
+            if self.node is not None and self.node < 0:
+                raise ValueError("node_slowdown node index cannot be negative")
+        elif self.kind == FaultKind.LINK_DEGRADE:
+            if self.duration <= 0:
+                raise ValueError("link_degrade needs a positive duration")
+            if self.latency <= 0:
+                raise ValueError("link_degrade needs a positive extra latency")
+            if self.node is not None and self.node < 0:
+                raise ValueError("link_degrade node index cannot be negative")
+            if self.peer is not None:
+                if self.peer < 0:
+                    raise ValueError("link_degrade peer index cannot be negative")
+                if self.node is None:
+                    raise ValueError("link_degrade peer needs a node too")
 
     def as_dict(self) -> Dict:
         out: Dict = {"at": self.at, "kind": self.kind}
@@ -99,6 +142,17 @@ class FaultEvent:
             )
         elif self.kind == FaultKind.NOISE_BURST:
             out.update(count=self.count, work=self.work)
+        elif self.kind == FaultKind.NODE_CRASH:
+            out["node"] = self.node
+        elif self.kind == FaultKind.NODE_SLOWDOWN:
+            out.update(node=self.node, factor=self.factor, duration=self.duration)
+        elif self.kind == FaultKind.LINK_DEGRADE:
+            out.update(
+                node=self.node,
+                peer=self.peer,
+                latency=self.latency,
+                duration=self.duration,
+            )
         return out
 
 
@@ -133,7 +187,7 @@ class FaultPlan:
         n_cpus: int,
         n_ranks: int = 0,
         n_faults: int = 3,
-        kinds: Sequence[str] = FaultKind.ALL,
+        kinds: Sequence[str] = FaultKind.LOCAL,
         offline_recovery: Optional[int] = None,
     ) -> "FaultPlan":
         """Draw *n_faults* faults uniformly over ``[horizon//10, horizon]``.
@@ -143,6 +197,12 @@ class FaultPlan:
         ``cpu_online`` *offline_recovery* µs later (default: a tenth of the
         horizon) so random plans cannot grind a machine down to one CPU
         permanently.
+
+        The default *kinds* is :data:`FaultKind.LOCAL` (not ``ALL``): the
+        draw sequence depends on the usable-kinds list, so widening the
+        default when the cluster kinds were added would have silently
+        changed every existing seeded plan.  Pass cluster kinds explicitly
+        to draw them.
         """
         if horizon <= 0:
             raise ValueError("horizon must be positive")
@@ -188,13 +248,34 @@ class FaultPlan:
                         duration=rng.randint(horizon // 20 + 1, horizon // 4 + 1),
                     )
                 )
-            else:  # NOISE_BURST
+            elif kind == FaultKind.NOISE_BURST:
                 events.append(
                     FaultEvent(
                         at=at,
                         kind=kind,
                         count=rng.randint(2, 8),
                         work=rng.randint(500, 5000),
+                    )
+                )
+            elif kind == FaultKind.NODE_CRASH:
+                # node=None: the crash targets whichever node arms the plan.
+                events.append(FaultEvent(at=at, kind=kind))
+            elif kind == FaultKind.NODE_SLOWDOWN:
+                events.append(
+                    FaultEvent(
+                        at=at,
+                        kind=kind,
+                        factor=round(rng.uniform(0.3, 0.8), 3),
+                        duration=rng.randint(horizon // 20 + 1, horizon // 4 + 1),
+                    )
+                )
+            else:  # LINK_DEGRADE
+                events.append(
+                    FaultEvent(
+                        at=at,
+                        kind=kind,
+                        latency=rng.randint(100, 2000),
+                        duration=rng.randint(horizon // 20 + 1, horizon // 4 + 1),
                     )
                 )
         ordered = tuple(sorted(events, key=lambda e: e.at))

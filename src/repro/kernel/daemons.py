@@ -159,6 +159,7 @@ class DaemonSet:
         self.bursts = 0
         self.storms = 0
         self._started = False
+        self._stopped = False
 
     # ------------------------------------------------------------ lifecycle
 
@@ -176,6 +177,22 @@ class DaemonSet:
                     self._spawn_daemon(spec, instance=i)
         if self.profile.storm is not None:
             self._schedule_storm(self.profile.storm)
+
+    def stop(self) -> int:
+        """Fail-stop the whole noise population (node-crash injection).
+
+        Kills every live daemon and storm worker and quiesces the storm
+        generator; pending wake events become no-ops.  Returns how many
+        tasks were killed.  Idempotent."""
+        if self._stopped:
+            return 0
+        self._stopped = True
+        killed = 0
+        for task in self.tasks + self.storm_tasks:
+            if task.alive:
+                self.kernel.kill(task)
+                killed += 1
+        return killed
 
     # ------------------------------------------------------------- daemons
 
@@ -221,7 +238,7 @@ class DaemonSet:
         )
 
     def _daemon_wake(self, task: Task, spec: DaemonSpec) -> None:
-        if not task.alive:  # pragma: no cover - daemons never exit today
+        if self._stopped or not task.alive:
             return
         import math
 
@@ -241,6 +258,8 @@ class DaemonSet:
         )
 
     def _storm_fire(self, spec: StormSpec) -> None:
+        if self._stopped:
+            return
         import math
 
         rng = self.kernel.sim.rng
@@ -255,7 +274,7 @@ class DaemonSet:
     def _storm_spawn_wave(self, spec: StormSpec, storm_id: int, remaining: int) -> None:
         """Fork one worker, then schedule the next — the storm is a script
         forking subprocesses, not a single batch."""
-        if remaining <= 0:
+        if remaining <= 0 or self._stopped:
             return
         import math
 

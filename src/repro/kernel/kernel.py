@@ -440,6 +440,17 @@ class Kernel:
     def online_cpus(self) -> List[int]:
         return self.core.online_cpu_ids()
 
+    def set_speed_scale(self, factor: float) -> None:
+        """Scale this node's effective compute rate (straggler injection).
+
+        ``factor`` in (0, 1] — 1.0 restores full speed.  Running tasks are
+        checkpointed at the old rate and re-programmed at the new one."""
+        self.core.set_speed_scale(factor)
+
+    @property
+    def speed_scale(self) -> float:
+        return self.core._speed_scale
+
     # -- measurement ----------------------------------------------------------
 
     def perf_session(self) -> PerfSession:

@@ -128,6 +128,10 @@ class SchedCore:
             for cpu in machine.cpus
         ]
         self._smt_throughput = machine.smt_throughput
+        #: Node-wide compute rate multiplier (straggler injection).  Exactly
+        #: 1.0 in the fault-free case, where the `_base_rate` branch that
+        #: applies it is never taken — zero-cost-when-unarmed.
+        self._speed_scale: float = 1.0
         #: Wake/fork CPU selection, installed by the kernel facade.
         self.select_cpu: Callable[[Task, str], int] = lambda task, reason: (
             task.cpu if task.cpu is not None else 0
@@ -219,6 +223,9 @@ class SchedCore:
         if busy < 1:
             busy = 1
         rate = self._smt_throughput[busy - 1]
+        scale = self._speed_scale
+        if scale != 1.0:
+            rate *= scale
         config = self.config
         if config.tick_overhead:
             tickless_quiet = config.tickless and rq.nr_queued() == 0
@@ -739,6 +746,29 @@ class SchedCore:
             if curr is not None and not curr.is_idle:
                 self.update_curr(sibling_id)
                 self._program(sib_rq)
+
+    def set_speed_scale(self, factor: float) -> None:
+        """Change the node-wide compute rate multiplier (straggler model).
+
+        Every running task's accounting is checkpointed at the *old* rate
+        before the scale flips, then its completion timer is re-armed at the
+        new rate — the same checkpoint/re-program discipline SMT sibling
+        changes use, so a mid-run scale change never rewrites history.
+        """
+        if factor <= 0:
+            raise ValueError("speed scale must be positive")
+        if factor == self._speed_scale:
+            return
+        rqs = self.rqs
+        running = [
+            rq for rq in rqs
+            if rq.curr is not None and not rq.curr.is_idle
+        ]
+        for rq in running:
+            self.update_curr(rq.cpu_id)
+        self._speed_scale = factor
+        for rq in running:
+            self._program(rq)
 
     # ---------------------------------------------------------------- timer
 

@@ -20,6 +20,7 @@ __all__ = [
     "PROVENANCE_SCHEMA_VERSION",
     "config_digest",
     "run_record",
+    "cluster_run_record",
     "campaign_record",
     "append_record",
     "read_records",
@@ -85,6 +86,41 @@ def run_record(
         record["counters"] = counters
     if latency is not None:
         record["latency"] = latency
+    if faults is not None:
+        record["faults"] = faults
+    return record
+
+
+def cluster_run_record(
+    result,
+    *,
+    bench: str,
+    regime: str,
+    run_index: int,
+    seed: int,
+    faults: Optional[Dict] = None,
+) -> Dict[str, object]:
+    """Build the provenance dict for one finished *multi-node* run.
+
+    *result* is a :class:`~repro.cluster.multinode.ClusterResult`.  Like
+    :func:`run_record`, the ``faults`` object (per-node plan digests plus
+    the cluster's detection/recovery accounting) is attached only on
+    faulted runs, so fault-free cluster records stay byte-stable."""
+    record: Dict[str, object] = {
+        "schema": PROVENANCE_SCHEMA_VERSION,
+        "kind": "cluster",
+        "bench": bench,
+        "regime": regime,
+        "run_index": run_index,
+        "seed": seed,
+        "n_nodes": result.n_nodes,
+        "nprocs_per_node": result.nprocs_per_node,
+        "n_spares": result.n_spares,
+        "surviving_nodes": result.surviving_nodes,
+        "app_time_s": result.app_time_s,
+        "node_migrations": list(result.node_migrations),
+        "node_involuntary_switches": list(result.node_involuntary_switches),
+    }
     if faults is not None:
         record["faults"] = faults
     return record

@@ -33,7 +33,12 @@ from repro.parallel.engine import (
     execute_campaign,
     resolve_jobs,
 )
-from repro.parallel.jobspec import RunSpec, machine_fingerprint, stable_digest
+from repro.parallel.jobspec import (
+    ClusterRunSpec,
+    RunSpec,
+    machine_fingerprint,
+    stable_digest,
+)
 from repro.parallel.supervisor import (
     AttemptFailure,
     CampaignJournal,
@@ -57,6 +62,7 @@ __all__ = [
     "CampaignJournal",
     "CampaignRunError",
     "CacheInfo",
+    "ClusterRunSpec",
     "DEFAULT_CACHE_DIR",
     "NoJournalError",
     "QUARANTINE_DIR",

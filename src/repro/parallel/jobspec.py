@@ -20,16 +20,22 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro import __version__
 from repro.apps.spmd import Program
-from repro.faults import FaultPlan, FaultTolerance
+from repro.faults import ClusterTolerance, FaultPlan, FaultTolerance
 from repro.kernel.daemons import NoiseProfile
 from repro.kernel.kernel import KernelConfig
 from repro.topology.machine import Machine
 
-__all__ = ["RunSpec", "machine_fingerprint", "spec_fingerprint", "stable_digest"]
+__all__ = [
+    "ClusterRunSpec",
+    "RunSpec",
+    "machine_fingerprint",
+    "spec_fingerprint",
+    "stable_digest",
+]
 
 
 def _jsonable(value):
@@ -133,3 +139,64 @@ def spec_fingerprint(spec: RunSpec) -> Dict[str, object]:
     """Module-level alias of :meth:`RunSpec.fingerprint` (introspection,
     tests)."""
     return spec.fingerprint()
+
+
+@dataclass(frozen=True)
+class ClusterRunSpec:
+    """One multi-node campaign repetition, as data.
+
+    The cluster analogue of :class:`RunSpec`: everything
+    :func:`~repro.cluster.multinode.run_cluster_job` needs, flattened to
+    picklable content.  Machines cross the boundary as a tuple (one per
+    node — participants first, then spares), fault plans as a sorted tuple
+    of ``(node, plan)`` pairs, so equal-content specs always produce equal
+    digests regardless of dict insertion order.
+    """
+
+    run_index: int
+    seed: int
+    program: Program
+    n_nodes: int
+    nprocs_per_node: int
+    regime: str
+    #: One machine per node (n_nodes or n_nodes + spare_nodes entries);
+    #: None = every node runs the default preset.
+    machines: Optional[Tuple[Machine, ...]] = None
+    noise: Optional[NoiseProfile] = None
+    internode_latency: int = 30
+    fault_plans: Optional[Tuple[Tuple[int, FaultPlan], ...]] = None
+    tolerance: Optional[ClusterTolerance] = None
+    spare_nodes: int = 0
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Everything simulation-relevant, as deterministic plain data
+        (same contract as :meth:`RunSpec.fingerprint`)."""
+        return {
+            "version": __version__,
+            "kind": "cluster",
+            "seed": self.seed,
+            "program": _jsonable(self.program),
+            "n_nodes": self.n_nodes,
+            "nprocs_per_node": self.nprocs_per_node,
+            "regime": self.regime,
+            "machines": (
+                [machine_fingerprint(m) for m in self.machines]
+                if self.machines is not None
+                else None
+            ),
+            "noise": _jsonable(self.noise),
+            "internode_latency": self.internode_latency,
+            "fault_plans": (
+                {str(node): plan.as_dict() for node, plan in self.fault_plans}
+                if self.fault_plans is not None
+                else None
+            ),
+            "tolerance": (
+                self.tolerance.as_dict() if self.tolerance is not None else None
+            ),
+            "spare_nodes": self.spare_nodes,
+        }
+
+    def digest(self) -> str:
+        """Stable 32-hex content key (the cache key) for this spec."""
+        return stable_digest(self.fingerprint())

@@ -25,7 +25,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.faults import FaultEvent, FaultKind, FaultPlan, FaultTolerance
+from repro.faults import (
+    ClusterTolerance,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultTolerance,
+)
 from repro.units import msecs
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -59,6 +65,34 @@ SCENARIOS = {
 }
 
 
+#: name -> kwargs for run_cluster_campaign.  One faulted multi-node run:
+#: a mid-run node crash detected by the global heartbeat, rolled back to
+#: the last coordinated checkpoint, and failed over onto the spare node.
+CLUSTER_SCENARIOS = {
+    "cluster_crash_failover": dict(
+        n_nodes=3,
+        regime="stock",
+        n_runs=2,
+        base_seed=13,
+        nprocs_per_node=4,
+        spare_nodes=1,
+        fault_plans={
+            0: FaultPlan.schedule(
+                (FaultEvent(at=msecs(80), kind=FaultKind.NODE_CRASH, node=1),),
+                label="golden-node-crash",
+            )
+        },
+        tolerance=ClusterTolerance(
+            mode="restart",
+            recover="failover",
+            detection_timeout=5_000,
+            checkpoint_every=2,
+            restart_cost=2_000,
+        ),
+    ),
+}
+
+
 def _run_scenario(spec: dict, out_path: Path) -> None:
     from repro.experiments.runner import run_nas_campaign
 
@@ -66,6 +100,31 @@ def _run_scenario(spec: dict, out_path: Path) -> None:
     run_nas_campaign(
         kwargs.pop("name"),
         kwargs.pop("klass"),
+        kwargs.pop("regime"),
+        kwargs.pop("n_runs"),
+        provenance_path=str(out_path),
+        use_cache=False,
+        n_jobs=1,
+        **kwargs,
+    )
+
+
+def _cluster_program():
+    from repro.apps.spmd import Program
+
+    return Program.iterative(
+        name="golden-mn", n_iters=6, iter_work=msecs(10), init_ops=2,
+        finalize_ops=1,
+    )
+
+
+def _run_cluster_scenario(spec: dict, out_path: Path) -> None:
+    from repro.experiments.runner import run_cluster_campaign
+
+    kwargs = dict(spec)
+    run_cluster_campaign(
+        _cluster_program,
+        kwargs.pop("n_nodes"),
         kwargs.pop("regime"),
         kwargs.pop("n_runs"),
         provenance_path=str(out_path),
@@ -89,6 +148,28 @@ def test_provenance_matches_golden(scenario: str, tmp_path: Path) -> None:
     )
     out = tmp_path / f"{scenario}.jsonl"
     _run_scenario(SCENARIOS[scenario], out)
+    got = out.read_bytes()
+    want = fixture.read_bytes()
+    assert got == want, (
+        f"provenance for {scenario} is not byte-identical to the golden "
+        "fixture — the change is not semantics-preserving"
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(CLUSTER_SCENARIOS))
+def test_cluster_provenance_matches_golden(scenario: str, tmp_path: Path) -> None:
+    fixture = GOLDEN_DIR / f"{scenario}.jsonl"
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        _run_cluster_scenario(CLUSTER_SCENARIOS[scenario], fixture)
+        (fixture.parent / f"{scenario}.jsonl.meta.json").unlink(missing_ok=True)
+        return
+    assert fixture.is_file(), (
+        f"missing golden fixture {fixture}; generate with "
+        "REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_provenance.py"
+    )
+    out = tmp_path / f"{scenario}.jsonl"
+    _run_cluster_scenario(CLUSTER_SCENARIOS[scenario], out)
     got = out.read_bytes()
     want = fixture.read_bytes()
     assert got == want, (
