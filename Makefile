@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-faults test-cluster test-sanitize lint bench perf perf-gate report figures examples clean
+.PHONY: install test test-faults test-cluster test-batch test-sanitize lint bench perf perf-gate report figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -23,6 +23,14 @@ test-faults:
 test-cluster:
 	$(PY) -m pytest tests/test_cluster.py tests/test_cluster_faults.py \
 		tests/test_golden_provenance.py
+
+# Batch/cluster dispatcher: workload generation, the four allocation
+# policies (FCFS, EASY backfilling, priority, fractional sharing), the
+# batch campaign layer, its CLI, and the EASY-guarantee property tests.
+test-batch:
+	$(PY) -m pytest tests/test_batch_workload.py tests/test_batch_policies.py \
+		tests/test_batch_campaign.py tests/test_properties_batch.py \
+		tests/test_cli_batch.py
 
 # Full suite with the scheduler invariant sanitizer attached to every
 # kernel (the simulator's lockdep/KASAN analog; see repro.kernel.invariants).

@@ -1,0 +1,322 @@
+"""Batch campaigns: batch schedules as first-class campaign cells.
+
+One repetition here is one whole *schedule*: a seeded job trace replayed
+against a node pool under one allocation policy.  Repetitions differ only
+by derived seed (fresh trace, fresh per-job node-level seeds), so they are
+embarrassingly parallel exactly like node-level repetitions — which means
+the entire supervised fabric applies unchanged: process-pool fan-out,
+content-addressed caching on :meth:`BatchRunSpec.digest`, crash-safe
+journal/resume, streaming provenance (``kind: "batch"`` records), and
+telemetry (``batch.backfills`` / ``batch.colocations`` / ``batch.kills``
+counters, ``batch.queue_depth`` high-water gauge).
+
+The byte-determinism contract carries over too: a batch campaign's
+provenance JSONL is identical between ``--jobs 1`` and ``--jobs N`` and
+across cache-warm resume — CI's batch determinism leg diffs exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.batch.dispatcher import BatchResult, simulate_batch
+from repro.batch.workload import WorkloadConfig, generate_trace
+
+__all__ = [
+    "BatchCampaignResult",
+    "build_batch_specs",
+    "run_batch_campaign",
+]
+
+
+def _execute_batch_spec(spec) -> Tuple[BatchResult, Optional[Dict]]:
+    """Execute one batch repetition from a picklable :class:`BatchRunSpec`.
+
+    The batch analogue of ``_execute_spec``: module-level, a pure function
+    of the spec's content.  The trace is regenerated from (workload, seed)
+    — traces never cross the process boundary — and the second element of
+    the return pair (the supervisor's ``faults`` slot) is always None:
+    walltime kills are policy behaviour, not injected faults, and they are
+    accounted in the result itself.
+    """
+    trace = generate_trace(spec.workload, spec.seed)
+    result = simulate_batch(
+        trace,
+        spec.pool_nodes,
+        spec.policy,
+        policy_params=(
+            dict(spec.policy_params) if spec.policy_params is not None else None
+        ),
+        regime=spec.regime,
+        runtime_model=spec.runtime_model,
+        internode_latency=spec.workload.internode_latency,
+    )
+    return result, None
+
+
+@dataclass
+class BatchCampaignResult:
+    """N repetitions of one (policy, regime, pool) batch configuration."""
+
+    label: str
+    policy: str
+    regime: str
+    results: List[BatchResult]
+    jobs: int = 1
+    cache_hits: int = 0
+    holes: List[int] = field(default_factory=list)
+    retries: int = 0
+    replayed: int = 0
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.results)
+
+    def mean_waits_us(self) -> List[float]:
+        return [r.mean_wait_us for r in self.results]
+
+    def mean_bslds(self) -> List[float]:
+        return [r.mean_bsld for r in self.results]
+
+    def makespans_us(self) -> List[float]:
+        return [r.makespan_us for r in self.results]
+
+    def utilizations(self) -> List[float]:
+        return [r.utilization for r in self.results]
+
+    def total_backfills(self) -> int:
+        return sum(r.backfills for r in self.results)
+
+    def total_colocations(self) -> int:
+        return sum(r.colocations for r in self.results)
+
+    def total_kills(self) -> int:
+        return sum(r.kills for r in self.results)
+
+
+def build_batch_specs(
+    policy: str,
+    pool_nodes: int,
+    regime: str,
+    n_runs: int,
+    *,
+    base_seed: int = 0,
+    workload: Optional[WorkloadConfig] = None,
+    runtime_model: str = "sim",
+    policy_params: Optional[Dict[str, object]] = None,
+) -> List["BatchRunSpec"]:
+    """Materialize a batch campaign's repetitions as picklable specs.
+
+    Mirrors ``build_campaign_specs``: seeds derive per run index, and the
+    policy name is validated here (fail fast in the parent, not in a
+    worker), as are the workload/pool shapes the dispatcher would reject.
+    """
+    from repro.batch.policies import make_policy
+    from repro.batch.runtime import RUNTIME_MODELS
+    from repro.experiments.runner import CLUSTER_REGIMES, _derive_seed
+    from repro.parallel.jobspec import BatchRunSpec
+
+    if n_runs < 1:
+        raise ValueError("n_runs must be >= 1")
+    if regime not in CLUSTER_REGIMES:
+        raise ValueError(
+            f"unknown batch regime {regime!r}; choose from {CLUSTER_REGIMES}"
+        )
+    if runtime_model not in RUNTIME_MODELS:
+        raise ValueError(
+            f"unknown runtime model {runtime_model!r}; choose from {RUNTIME_MODELS}"
+        )
+    make_policy(policy, **(policy_params or {}))  # validate name + params
+    workload = workload if workload is not None else WorkloadConfig()
+    if workload.max_nodes > pool_nodes:
+        raise ValueError(
+            f"workload generates up to {workload.max_nodes}-node jobs but the "
+            f"pool has only {pool_nodes} nodes"
+        )
+    params_tuple = (
+        tuple(sorted(policy_params.items())) if policy_params else None
+    )
+    return [
+        BatchRunSpec(
+            run_index=i,
+            seed=_derive_seed(base_seed, i),
+            policy=policy,
+            pool_nodes=pool_nodes,
+            regime=regime,
+            workload=workload,
+            runtime_model=runtime_model,
+            policy_params=params_tuple,
+        )
+        for i in range(n_runs)
+    ]
+
+
+def run_batch_campaign(
+    policy: str,
+    pool_nodes: int,
+    regime: str,
+    n_runs: int,
+    *,
+    base_seed: int = 0,
+    workload: Optional[WorkloadConfig] = None,
+    runtime_model: str = "sim",
+    policy_params: Optional[Dict[str, object]] = None,
+    label: str = "",
+    provenance_path: Optional[str] = None,
+    n_jobs: Optional[int] = 1,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    supervise: Optional["SupervisorConfig"] = None,
+    resume: bool = False,
+    resume_missing_ok: bool = False,
+    telemetry: Optional["CampaignTelemetry"] = None,
+) -> BatchCampaignResult:
+    """Run *n_runs* independent batch-schedule repetitions.
+
+    The batch analogue of ``run_campaign`` / ``run_cluster_campaign``,
+    sharing the same execution fabric, so every invariant that holds there
+    holds here: results and provenance byte-identical at any ``--jobs``,
+    cache soundness, journal/resume, auditable holes.  Provenance records
+    use :func:`~repro.obs.provenance.batch_run_record` (``kind: "batch"``);
+    each record additionally bumps the ``batch.backfills`` /
+    ``batch.colocations`` / ``batch.kills`` telemetry counters and the
+    ``batch.queue_depth`` gauge (whose high-water mark is the deepest queue
+    any repetition saw), so the batch layer's scheduling traffic shows up
+    in the metrics snapshot next to cache and retry counts.
+    """
+    import time as _time
+
+    from repro.obs.provenance import append_record, batch_run_record, campaign_record
+    from repro.parallel.cache import ResultCache
+    from repro.parallel.engine import resolve_jobs
+    from repro.parallel.supervisor import (
+        NoJournalError,
+        SupervisorConfig,
+        campaign_digest,
+        journal_path_for,
+        supervise_campaign,
+    )
+
+    specs = build_batch_specs(
+        policy,
+        pool_nodes,
+        regime,
+        n_runs,
+        base_seed=base_seed,
+        workload=workload,
+        runtime_model=runtime_model,
+        policy_params=policy_params,
+    )
+    jobs = resolve_jobs(n_jobs)
+    cache = (
+        ResultCache(
+            cache_dir,
+            metrics=telemetry.registry if telemetry is not None else None,
+        )
+        if use_cache
+        else None
+    )
+    if resume and cache is None:
+        raise NoJournalError(
+            "<caching disabled> — --resume replays finished runs from the "
+            "result cache, so it cannot be combined with --no-cache"
+        )
+    journal_path = (
+        journal_path_for(cache.root, campaign_digest(specs))
+        if cache is not None
+        else None
+    )
+    if resume and resume_missing_ok and journal_path is not None:
+        if not journal_path.is_file():
+            resume = False  # nothing to replay; run this campaign fresh
+    config = supervise or SupervisorConfig()
+    started_at = _time.time()
+    bench = label or f"batch-{policy}"
+
+    prov_fh = open(provenance_path, "w", encoding="utf-8") if provenance_path else None
+
+    def on_record(record) -> None:
+        if telemetry is not None:
+            reg = telemetry.registry
+            reg.counter("batch.backfills").inc(record.result.backfills)
+            reg.counter("batch.colocations").inc(record.result.colocations)
+            reg.counter("batch.kills").inc(record.result.kills)
+            reg.gauge("batch.queue_depth").set(record.result.queue_depth_peak)
+        if prov_fh is None:
+            return
+        append_record(
+            prov_fh,
+            batch_run_record(
+                record.result,
+                bench=bench,
+                run_index=record.run_index,
+                seed=record.seed,
+            ),
+        )
+
+    if telemetry is not None:
+        telemetry.campaign_started(
+            label=bench,
+            regime=regime,
+            n_runs=n_runs,
+            jobs=jobs,
+        )
+    try:
+        supervised = supervise_campaign(
+            specs,
+            _execute_batch_spec,
+            n_jobs=jobs,
+            cache=cache,
+            config=config,
+            progress=progress,
+            on_record=on_record,
+            journal_path=journal_path,
+            resume=resume,
+            telemetry=telemetry,
+        )
+    finally:
+        if prov_fh is not None:
+            prov_fh.close()
+    if telemetry is not None:
+        telemetry.campaign_finished(replayed=supervised.replayed)
+
+    records = supervised.records
+    results = [r.result for r in records]
+    cache_hits = sum(1 for r in records if r.cache_hit)
+    misses = n_runs - cache_hits - len(supervised.holes)
+    if provenance_path:
+        meta = campaign_record(
+            bench=bench,
+            regime=regime,
+            n_runs=n_runs,
+            base_seed=base_seed,
+            jobs=jobs,
+            cache_hits=cache_hits,
+            cache_misses=misses,
+            started_at=started_at,
+            finished_at=_time.time(),
+            retries=supervised.retries,
+            timeouts=supervised.timeouts,
+            pool_shrinks=supervised.pool_shrinks,
+            holes=[h.as_dict() for h in supervised.holes],
+            resumed=resume,
+            replayed=supervised.replayed,
+        )
+        with open(provenance_path + ".meta.json", "w", encoding="utf-8") as fh:
+            import json as _json
+
+            _json.dump(meta, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return BatchCampaignResult(
+        label=bench,
+        policy=policy,
+        regime=regime,
+        results=results,
+        jobs=jobs,
+        cache_hits=cache_hits,
+        holes=supervised.hole_indices,
+        retries=supervised.retries,
+        replayed=supervised.replayed,
+    )

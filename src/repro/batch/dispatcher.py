@@ -1,0 +1,440 @@
+"""The batch dispatcher: an exact-arithmetic event loop over a node pool.
+
+This is the top level of the two-level scheduler.  The node level
+(:mod:`repro.cluster.multinode`) prices one job on one set of nodes; the
+dispatcher replays a whole arrival trace against a fixed pool, asking the
+policy who starts next after every arrival and every completion.
+
+Determinism is the load-bearing wall.  All clocks are
+:class:`fractions.Fraction`, so fractional-sharing service rates (1/2,
+1/3, ...) never accumulate float error; event ordering is a total order on
+``(time, kind, sequence)``; node selection is lowest-id-first.  A schedule
+is therefore a pure function of ``(trace, pool, policy, runtime model)``
+and :meth:`BatchResult.schedule_digest` is stable across platforms and
+process counts — the property the campaign fabric's byte-determinism
+contract (and CI's determinism gate) stands on.
+
+Rigid policies enforce walltime limits: a job is killed at
+``start + estimate`` if the node-level simulation runs longer.  That is
+not decoration — EASY's non-delay guarantee is only provable because
+running jobs have hard release bounds, and the dispatcher audits every
+reservation promise against the head's actual start (`head_delays` must
+be 0; the Hypothesis suite leans on this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.batch.policies import BatchPolicy, make_policy
+from repro.batch.runtime import base_runtime_us
+from repro.batch.workload import BatchJob
+
+__all__ = [
+    "BSLD_TAU_US",
+    "BatchDispatcher",
+    "BatchResult",
+    "JobOutcome",
+    "simulate_batch",
+]
+
+#: Bounded-slowdown threshold (Feitelson's tau), µs: jobs shorter than
+#: this do not get to claim astronomical slowdowns.
+BSLD_TAU_US = 10_000
+
+#: Event kinds, ordered: completions free nodes before same-instant
+#: arrivals are considered, so a finish and an arrival at the same tick
+#: schedule against the post-release pool.
+_EV_FINISH = 0
+_EV_ARRIVAL = 1
+
+
+class _Running:
+    """Mutable in-flight job state (dispatcher-private)."""
+
+    __slots__ = (
+        "job", "nodes", "start", "base_runtime", "limit",
+        "remaining", "rate", "version", "backfilled", "shared_peak",
+    )
+
+    def __init__(self, job: BatchJob, nodes: Tuple[int, ...], start: Fraction,
+                 base_runtime: int, limit: Optional[int]) -> None:
+        self.job = job
+        self.nodes = nodes
+        self.start = start
+        self.base_runtime = base_runtime
+        self.limit = limit
+        # Work still owed, in dedicated-node microseconds.  Rigid jobs owe
+        # min(base, limit) at rate 1; shared jobs owe base at 1/residents.
+        self.remaining = Fraction(min(base_runtime, limit) if limit is not None
+                                  else base_runtime)
+        self.rate = Fraction(1)
+        self.version = 0
+        self.backfilled = False
+        self.shared_peak = 1
+
+    @property
+    def guaranteed_release(self) -> Fraction:
+        """Latest instant this job can still hold its nodes (rigid only;
+        the walltime kill makes this a hard bound, which is what EASY's
+        reservation arithmetic requires)."""
+        assert self.limit is not None
+        return self.start + self.limit
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's fate under one policy (all times µs)."""
+
+    job_id: int
+    digest: str
+    submit: int
+    n_nodes: int
+    estimate: int
+    #: Isolated service demand from the runtime model.
+    base_runtime: int
+    start: float
+    finish: float
+    wait: float
+    #: Wall time the job actually held nodes (== base for rigid survivors,
+    #: estimate for kills, dilated by sharing for co-located jobs).
+    runtime: float
+    response: float
+    bounded_slowdown: float
+    killed: bool
+    backfilled: bool
+    #: Worst co-residency the job saw (1 = always dedicated).
+    shared_peak: int
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """A full schedule plus its aggregate metrics (picklable, cacheable)."""
+
+    policy: str
+    policy_params: Tuple[Tuple[str, object], ...]
+    regime: str
+    runtime_model: str
+    pool_nodes: int
+    n_jobs: int
+    jobs: Tuple[JobOutcome, ...]
+    makespan_us: float
+    mean_wait_us: float
+    max_wait_us: float
+    mean_bsld: float
+    max_bsld: float
+    #: Busy-node-time / (pool x active span), in [0, 1].
+    utilization: float
+    backfills: int
+    colocations: int
+    kills: int
+    queue_depth_peak: int
+    #: EASY promise audit: reservations the head's actual start violated.
+    #: The policy's guarantee says this is always 0.
+    head_delays: int
+    #: (job_id, promised latest start, actual start) for every reservation
+    #: the policy announced — the raw material of the property tests.
+    reservations: Tuple[Tuple[int, float, float], ...]
+
+    def schedule_digest(self) -> str:
+        """Content digest of the schedule itself (who ran where, when)."""
+        from repro.parallel.jobspec import stable_digest
+
+        return stable_digest(
+            {
+                "policy": self.policy,
+                "policy_params": self.policy_params,
+                "regime": self.regime,
+                "runtime_model": self.runtime_model,
+                "pool_nodes": self.pool_nodes,
+                "jobs": [
+                    (o.job_id, o.digest, o.start, o.finish, o.killed,
+                     o.backfilled, o.shared_peak)
+                    for o in self.jobs
+                ],
+            },
+            length=16,
+        )
+
+
+class BatchDispatcher:
+    """Replay a job trace against *pool_nodes* nodes under *policy*.
+
+    ``runtimes`` injects per-job base runtimes (job_id -> µs) in place of
+    the runtime model — tests use it to build exact hand-checkable
+    schedules.
+    """
+
+    def __init__(
+        self,
+        jobs: Tuple[BatchJob, ...],
+        pool_nodes: int,
+        policy: BatchPolicy,
+        *,
+        regime: str = "stock",
+        runtime_model: str = "sim",
+        internode_latency: int = 30,
+        runtimes: Optional[Dict[int, int]] = None,
+        tau_us: int = BSLD_TAU_US,
+    ) -> None:
+        if pool_nodes < 1:
+            raise ValueError("pool_nodes must be >= 1")
+        widest = max((job.n_nodes for job in jobs), default=0)
+        if widest > pool_nodes:
+            raise ValueError(
+                f"trace contains a {widest}-node job but the pool has only "
+                f"{pool_nodes} nodes; no policy can ever start it"
+            )
+        self.jobs = tuple(jobs)
+        self.pool_nodes = pool_nodes
+        self.policy = policy
+        self.regime = regime
+        self.runtime_model = runtime_model
+        self.internode_latency = internode_latency
+        self.runtimes = runtimes
+        self.tau_us = tau_us
+
+        self.now: Fraction = Fraction(0)
+        self.queue: List[BatchJob] = []
+        self.running: Dict[int, _Running] = {}
+        self._free: List[int] = list(range(pool_nodes))  # kept sorted
+        self._residents: List[int] = [0] * pool_nodes
+        self._events: list = []
+        self._seq = 0
+        self._done: Dict[int, JobOutcome] = {}
+        self._busy_node_time: Fraction = Fraction(0)
+        self._promises: Dict[int, Fraction] = {}
+        self._starts: Dict[int, Fraction] = {}
+
+        self.backfills = 0
+        self.colocations = 0
+        self.kills = 0
+        self.queue_depth_peak = 0
+        self.head_delays = 0
+
+    # -- state the policies read ------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def residents_on(self, node: int) -> int:
+        return self._residents[node]
+
+    def least_loaded_nodes(self, k: int) -> Tuple[int, ...]:
+        """The *k* nodes with fewest residents (ties: lowest id)."""
+        order = sorted(range(self.pool_nodes),
+                       key=lambda n: (self._residents[n], n))
+        return tuple(order[:k])
+
+    def record_reservation(self, job_id: int, latest_start: Fraction) -> None:
+        """EASY announces the head's reservation; keep the tightest bound
+        ever promised so the audit is against the strongest claim."""
+        prev = self._promises.get(job_id)
+        if prev is None or latest_start < prev:
+            self._promises[job_id] = latest_start
+
+    # -- state the policies change ----------------------------------------
+
+    def start_rigid(self, job: BatchJob, backfilled: bool = False) -> None:
+        """Dedicate the lowest-id free nodes to *job*; kill at the
+        walltime limit if the node-level runtime overruns it."""
+        nodes = tuple(self._free[: job.n_nodes])
+        del self._free[: job.n_nodes]
+        base = self._base_runtime(job)
+        rj = _Running(job, nodes, self.now, base, limit=job.estimate)
+        rj.backfilled = backfilled
+        self.running[job.job_id] = rj
+        self.queue.remove(job)
+        self._starts[job.job_id] = self.now
+        if backfilled:
+            self.backfills += 1
+        promised = self._promises.get(job.job_id)
+        if promised is not None and self.now > promised:
+            self.head_delays += 1
+        self._push(self.now + min(base, job.estimate), _EV_FINISH,
+                   job.job_id, rj.version)
+
+    def start_shared(self, job: BatchJob, nodes: Tuple[int, ...]) -> None:
+        """Co-locate *job* on *nodes*; every node's capacity is split
+        equally among residents, so all co-residents are repriced."""
+        base = self._base_runtime(job)
+        colocated = any(self._residents[n] > 0 for n in nodes)
+        rj = _Running(job, tuple(nodes), self.now, base, limit=None)
+        for n in nodes:
+            self._residents[n] += 1
+        self.running[job.job_id] = rj
+        self.queue.remove(job)
+        self._starts[job.job_id] = self.now
+        if colocated:
+            self.colocations += 1
+        self._reprice()
+
+    # -- engine ------------------------------------------------------------
+
+    def dispatch(self) -> BatchResult:
+        for job in self.jobs:
+            self._push(Fraction(job.submit), _EV_ARRIVAL, job.job_id, 0)
+        by_id = {job.job_id: job for job in self.jobs}
+        while self._events:
+            when, kind, _seq, job_id, version = heapq.heappop(self._events)
+            if kind == _EV_FINISH:
+                rj = self.running.get(job_id)
+                if rj is None or rj.version != version:
+                    continue  # superseded by a repricing
+                self._advance(when)
+                self._complete(rj)
+            else:
+                self._advance(when)
+                self.queue.append(by_id[job_id])
+                self.queue_depth_peak = max(self.queue_depth_peak,
+                                            len(self.queue))
+            self.policy.schedule(self)
+        return self._result()
+
+    def _push(self, when: Fraction, kind: int, job_id: int,
+              version: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (when, kind, self._seq, job_id, version))
+
+    def _occupied(self) -> int:
+        if self.policy.rigid:
+            return self.pool_nodes - len(self._free)
+        return sum(1 for r in self._residents if r > 0)
+
+    def _advance(self, when: Fraction) -> None:
+        dt = when - self.now
+        if dt > 0:
+            self._busy_node_time += self._occupied() * dt
+            if not self.policy.rigid:
+                for rj in self.running.values():
+                    rj.remaining -= rj.rate * dt
+            self.now = when
+        # Exact arithmetic: no work owed can go negative; clamp anyway so a
+        # future inexact runtime model degrades gracefully, not explosively.
+        if not self.policy.rigid:
+            for rj in self.running.values():
+                if rj.remaining < 0:
+                    rj.remaining = Fraction(0)
+
+    def _reprice(self) -> None:
+        """Recompute every shared job's service rate and predicted finish
+        after a membership change (remaining work was settled by
+        :meth:`_advance` before the change)."""
+        for rj in self.running.values():
+            load = max(self._residents[n] for n in rj.nodes)
+            rj.shared_peak = max(rj.shared_peak, load)
+            rj.rate = Fraction(1, load)
+            rj.version += 1
+            self._push(self.now + rj.remaining / rj.rate, _EV_FINISH,
+                       rj.job.job_id, rj.version)
+
+    def _complete(self, rj: _Running) -> None:
+        job = rj.job
+        killed = rj.limit is not None and rj.base_runtime > rj.limit
+        if killed:
+            self.kills += 1
+        del self.running[job.job_id]
+        if rj.limit is not None:
+            self._free = sorted(self._free + list(rj.nodes))
+        else:
+            for n in rj.nodes:
+                self._residents[n] -= 1
+            self._reprice()
+        start = rj.start
+        finish = self.now
+        wait = start - job.submit
+        runtime = finish - start
+        response = finish - job.submit
+        # Bounded slowdown divides by the *isolated* demand, not the held
+        # wall time — sharing's dilation must count as stretch, and a killed
+        # job's demand is capped at its limit (it never got to owe more).
+        isolated = (min(rj.base_runtime, rj.limit) if rj.limit is not None
+                    else rj.base_runtime)
+        bsld = max(1.0, float(response) / max(float(isolated), float(self.tau_us)))
+        self._done[job.job_id] = JobOutcome(
+            job_id=job.job_id,
+            digest=job.digest(),
+            submit=job.submit,
+            n_nodes=job.n_nodes,
+            estimate=job.estimate,
+            base_runtime=rj.base_runtime,
+            start=float(start),
+            finish=float(finish),
+            wait=float(wait),
+            runtime=float(runtime),
+            response=float(response),
+            bounded_slowdown=bsld,
+            killed=killed,
+            backfilled=rj.backfilled,
+            shared_peak=rj.shared_peak,
+        )
+
+    def _base_runtime(self, job: BatchJob) -> int:
+        if self.runtimes is not None:
+            return self.runtimes[job.job_id]
+        return base_runtime_us(
+            job, self.regime,
+            model=self.runtime_model,
+            internode_latency=self.internode_latency,
+        )
+
+    def _result(self) -> BatchResult:
+        missing = [j.job_id for j in self.jobs if j.job_id not in self._done]
+        if missing:  # pragma: no cover - termination is structural
+            raise RuntimeError(f"dispatch ended with unfinished jobs: {missing}")
+        outcomes = tuple(self._done[j.job_id] for j in self.jobs)
+        first_submit = min(j.submit for j in self.jobs)
+        last_finish = max(o.finish for o in outcomes)
+        span = last_finish - first_submit
+        util = float(self._busy_node_time) / (self.pool_nodes * span) if span > 0 else 0.0
+        waits = [o.wait for o in outcomes]
+        bslds = [o.bounded_slowdown for o in outcomes]
+        reservations = tuple(
+            (job_id, float(promised), float(self._starts[job_id]))
+            for job_id, promised in sorted(self._promises.items())
+        )
+        return BatchResult(
+            policy=self.policy.name,
+            policy_params=tuple(sorted(self.policy.params().items())),
+            regime=self.regime,
+            runtime_model=self.runtime_model,
+            pool_nodes=self.pool_nodes,
+            n_jobs=len(outcomes),
+            jobs=outcomes,
+            makespan_us=span,
+            mean_wait_us=sum(waits) / len(waits),
+            max_wait_us=max(waits),
+            mean_bsld=sum(bslds) / len(bslds),
+            max_bsld=max(bslds),
+            utilization=util,
+            backfills=self.backfills,
+            colocations=self.colocations,
+            kills=self.kills,
+            queue_depth_peak=self.queue_depth_peak,
+            head_delays=self.head_delays,
+            reservations=reservations,
+        )
+
+
+def simulate_batch(
+    jobs: Tuple[BatchJob, ...],
+    pool_nodes: int,
+    policy: str,
+    *,
+    policy_params: Optional[Dict[str, object]] = None,
+    regime: str = "stock",
+    runtime_model: str = "sim",
+    internode_latency: int = 30,
+    runtimes: Optional[Dict[int, int]] = None,
+) -> BatchResult:
+    """One-call schedule of *jobs* under a policy named by registry key."""
+    disp = BatchDispatcher(
+        jobs, pool_nodes, make_policy(policy, **(policy_params or {})),
+        regime=regime, runtime_model=runtime_model,
+        internode_latency=internode_latency, runtimes=runtimes,
+    )
+    return disp.dispatch()

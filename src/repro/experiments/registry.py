@@ -181,6 +181,16 @@ def _cluster_resilience(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, us
     )
 
 
+def _two_level(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
+    from repro.experiments.twolevel import two_level_campaign
+
+    return two_level_campaign(
+        n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache,
+        supervise=supervise, resume=resume,
+    )
+
+
 def _decomposition(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
           supervise=None, resume: bool = False):
     from repro.analysis.decomposition import decompose_nas_noise
@@ -250,6 +260,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "Multi-node recovery: node crash, straggler, degraded link — "
         "stock vs HPL vs RT",
         _cluster_resilience,
+    ),
+    "two-level": Experiment(
+        "two-level", "SS VI (two-level scheduling extension)",
+        "Batch policies (FCFS/EASY/priority/share) x node regimes: does "
+        "HPL's noise-immunity survive packing, backfilling, co-location?",
+        _two_level,
     ),
 }
 

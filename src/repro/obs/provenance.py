@@ -21,6 +21,7 @@ __all__ = [
     "config_digest",
     "run_record",
     "cluster_run_record",
+    "batch_run_record",
     "campaign_record",
     "append_record",
     "read_records",
@@ -124,6 +125,50 @@ def cluster_run_record(
     if faults is not None:
         record["faults"] = faults
     return record
+
+
+def batch_run_record(
+    result,
+    *,
+    bench: str,
+    run_index: int,
+    seed: int,
+) -> Dict[str, object]:
+    """Build the provenance dict for one finished *batch-schedule* run.
+
+    *result* is a :class:`~repro.batch.dispatcher.BatchResult`: one whole
+    schedule (trace x policy x pool), so the record carries the schedule's
+    content digest plus its aggregate metrics rather than per-job rows —
+    the per-job detail stays reconstructible from (workload, seed, policy)
+    by determinism.  Everything here is a pure function of the spec, so
+    batch provenance obeys the same byte-identity contract as node-level
+    and cluster records (the CI batch determinism leg diffs exactly this).
+    """
+    return {
+        "schema": PROVENANCE_SCHEMA_VERSION,
+        "kind": "batch",
+        "bench": bench,
+        "regime": result.regime,
+        "run_index": run_index,
+        "seed": seed,
+        "policy": result.policy,
+        "policy_params": dict(result.policy_params),
+        "runtime_model": result.runtime_model,
+        "pool_nodes": result.pool_nodes,
+        "n_jobs": result.n_jobs,
+        "schedule_digest": result.schedule_digest(),
+        "makespan_us": result.makespan_us,
+        "mean_wait_us": result.mean_wait_us,
+        "max_wait_us": result.max_wait_us,
+        "mean_bsld": result.mean_bsld,
+        "max_bsld": result.max_bsld,
+        "utilization": result.utilization,
+        "backfills": result.backfills,
+        "colocations": result.colocations,
+        "kills": result.kills,
+        "queue_depth_peak": result.queue_depth_peak,
+        "head_delays": result.head_delays,
+    }
 
 
 def campaign_record(

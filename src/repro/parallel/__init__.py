@@ -34,6 +34,7 @@ from repro.parallel.engine import (
     resolve_jobs,
 )
 from repro.parallel.jobspec import (
+    BatchRunSpec,
     ClusterRunSpec,
     RunSpec,
     machine_fingerprint,
@@ -58,6 +59,7 @@ from repro.parallel.supervisor import (
 
 __all__ = [
     "AttemptFailure",
+    "BatchRunSpec",
     "CACHE_ENV_VAR",
     "CampaignJournal",
     "CampaignRunError",

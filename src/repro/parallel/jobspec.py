@@ -20,7 +20,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro import __version__
 from repro.apps.spmd import Program
@@ -29,7 +29,11 @@ from repro.kernel.daemons import NoiseProfile
 from repro.kernel.kernel import KernelConfig
 from repro.topology.machine import Machine
 
+if TYPE_CHECKING:  # annotation only: parallel stays import-independent of batch
+    from repro.batch.workload import WorkloadConfig
+
 __all__ = [
+    "BatchRunSpec",
     "ClusterRunSpec",
     "RunSpec",
     "machine_fingerprint",
@@ -195,6 +199,59 @@ class ClusterRunSpec:
                 self.tolerance.as_dict() if self.tolerance is not None else None
             ),
             "spare_nodes": self.spare_nodes,
+        }
+
+    def digest(self) -> str:
+        """Stable 32-hex content key (the cache key) for this spec."""
+        return stable_digest(self.fingerprint())
+
+
+@dataclass(frozen=True)
+class BatchRunSpec:
+    """One batch-scheduling campaign repetition, as data.
+
+    The two-level analogue of :class:`RunSpec`: a repetition is a whole
+    *schedule* — one generated job trace replayed against a node pool under
+    one allocation policy — rather than a single simulated execution.  The
+    workload config (not the trace) is the payload: the trace is a pure
+    function of ``(workload, seed)``, so shipping the config keeps specs
+    small and the digest contract intact.  Policies cross the boundary by
+    registry name plus a sorted params tuple, never as objects.
+    """
+
+    run_index: int
+    seed: int
+    #: Allocation policy registry key (see :data:`repro.batch.BATCH_POLICIES`).
+    policy: str
+    #: Simulated cluster size the trace is packed onto.
+    pool_nodes: int
+    #: Node-level scheduling regime each job runs under (stock/hpl/rt).
+    regime: str
+    #: Trace shape; the trace itself is ``generate_trace(workload, seed)``.
+    workload: "WorkloadConfig"
+    #: How job runtimes are priced: "sim" (real node-level simulations) or
+    #: "analytic" (calibrated closed form).
+    runtime_model: str = "sim"
+    #: Sorted ``(key, value)`` policy tuning knobs (None = defaults).
+    policy_params: Optional[Tuple[Tuple[str, object], ...]] = None
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Everything schedule-relevant, as deterministic plain data
+        (same contract as :meth:`RunSpec.fingerprint`)."""
+        return {
+            "version": __version__,
+            "kind": "batch",
+            "seed": self.seed,
+            "policy": self.policy,
+            "policy_params": (
+                _jsonable(dict(self.policy_params))
+                if self.policy_params is not None
+                else None
+            ),
+            "pool_nodes": self.pool_nodes,
+            "regime": self.regime,
+            "workload": _jsonable(self.workload),
+            "runtime_model": self.runtime_model,
         }
 
     def digest(self) -> str:

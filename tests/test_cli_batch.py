@@ -1,0 +1,94 @@
+"""CLI surface of the batch dispatcher: parsing, output, exit codes,
+provenance plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _argv(tmp_path, *extra, policy="easy"):
+    # analytic runtimes + a small trace keep CLI tests fast
+    return [
+        "batch", policy, "--pool", "2", "-n", "2", "--trace-jobs", "5",
+        "--interarrival", "3000", "--max-nodes", "2",
+        "--runtime-model", "analytic", "--cache-dir", str(tmp_path / "cache"),
+        *extra,
+    ]
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["batch", "fcfs"])
+    assert args.command == "batch"
+    assert args.policy == "fcfs"
+    assert args.pool == 4
+    assert args.regime == "stock"
+    assert args.runs == 3
+    assert args.trace_jobs == 16
+    assert args.runtime_model == "sim"
+    assert args.max_share == 4
+
+
+def test_parser_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["batch", "round-robin"])
+
+
+@pytest.mark.parametrize("policy", ["fcfs", "easy", "priority", "share"])
+def test_batch_happy_path(tmp_path, capsys, policy):
+    assert main(_argv(tmp_path, policy=policy)) == 0
+    out = capsys.readouterr().out
+    assert f"batch {policy} on 2 nodes under stock" in out
+    assert "wait (ms)" in out
+    assert "traffic" in out
+    assert "exec" in out
+
+
+def test_batch_provenance_stream(tmp_path, capsys):
+    prov = tmp_path / "prov.jsonl"
+    assert main(_argv(tmp_path, "--provenance", str(prov))) == 0
+    records = [json.loads(line) for line in prov.open(encoding="utf-8")]
+    assert len(records) == 2
+    assert all(rec["kind"] == "batch" for rec in records)
+    assert all(rec["policy"] == "easy" for rec in records)
+    assert (prov.parent / (prov.name + ".meta.json")).is_file()
+    assert "provenance ->" in capsys.readouterr().out
+
+
+def test_batch_provenance_identical_across_worker_counts(tmp_path):
+    p1, p4 = tmp_path / "j1.jsonl", tmp_path / "j4.jsonl"
+    assert main(_argv(tmp_path, "--provenance", str(p1), "--jobs", "1")) == 0
+    assert main(_argv(tmp_path, "--provenance", str(p4), "--jobs", "4")) == 0
+    assert p1.read_bytes() == p4.read_bytes()
+
+
+def test_batch_rejects_impossible_width(tmp_path, capsys):
+    rc = main(["batch", "fcfs", "--pool", "2", "--max-nodes", "3"])
+    assert rc == 2
+    assert "exceeds --pool" in capsys.readouterr().err
+
+
+def test_batch_rejects_resume_without_cache(tmp_path, capsys):
+    rc = main(["batch", "fcfs", "--no-cache", "--resume"])
+    assert rc == 2
+
+
+def test_batch_rejects_unwritable_provenance(tmp_path, capsys):
+    rc = main(_argv(tmp_path, "--provenance",
+                    str(tmp_path / "missing-dir" / "p.jsonl")))
+    assert rc == 2
+    assert "cannot write --provenance" in capsys.readouterr().err
+
+
+def test_batch_share_reports_colocations(tmp_path, capsys):
+    assert main(_argv(tmp_path, policy="share")) == 0
+    out = capsys.readouterr().out
+    assert "colocations" in out
+
+
+def test_two_level_experiment_listed(capsys):
+    assert main(["list"]) == 0
+    assert "two-level" in capsys.readouterr().out

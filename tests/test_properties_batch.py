@@ -1,0 +1,127 @@
+"""Property-based batch-scheduling invariants.
+
+Hypothesis generates arbitrary job traces — arbitrary widths, arrival gaps,
+walltime estimates, and *true* runtimes that may exceed the estimates — and
+checks the promises no schedule may break:
+
+* EASY's guarantee: a backfilled job never delays the queue head's
+  reservation, for any trace, even with badly wrong estimates (the
+  walltime kill enforces the bound the reservation was computed from);
+* every reservation promise is audited: the head starts no later than the
+  shadow time the policy committed to;
+* conservation: every submitted job appears in the outcome exactly once,
+  starts after submission, and finishes after it starts;
+* determinism: one seed, one schedule — byte-for-byte stable digests for
+  every policy, and the full result compares equal across repeat runs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.campaign import build_batch_specs, _execute_batch_spec
+from repro.batch.dispatcher import simulate_batch
+from repro.batch.workload import BatchJob, WorkloadConfig, generate_trace
+
+POOL = 3
+POLICIES = ("fcfs", "easy", "priority", "share")
+
+
+def _trace(specs):
+    """Materialize a BatchJob trace + injected runtimes from raw draws."""
+    jobs, runtimes = [], {}
+    t = 0
+    for i, (gap, width, est, true_rt) in enumerate(specs):
+        t += gap
+        jobs.append(
+            BatchJob(
+                job_id=i, submit=t, n_nodes=width, nprocs_per_node=4,
+                n_iters=3, estimate=est, seed=i + 1,
+            )
+        )
+        runtimes[i] = true_rt
+    return tuple(jobs), runtimes
+
+
+job_draw = st.tuples(
+    st.integers(min_value=1, max_value=500),    # arrival gap
+    st.integers(min_value=1, max_value=POOL),   # width
+    st.integers(min_value=1, max_value=400),    # walltime estimate
+    st.integers(min_value=1, max_value=800),    # true runtime (may overrun!)
+)
+
+trace_strategy = st.lists(job_draw, min_size=1, max_size=12).map(_trace)
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=trace_strategy)
+def test_easy_never_delays_the_head(trace):
+    jobs, runtimes = trace
+    r = simulate_batch(jobs, POOL, "easy",
+                       runtime_model="analytic", runtimes=runtimes)
+    assert r.head_delays == 0
+    for job_id, promised, actual in r.reservations:
+        assert actual <= promised, (
+            f"job {job_id} promised start {promised}, got {actual}"
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=trace_strategy, policy=st.sampled_from(POLICIES))
+def test_schedule_conservation(trace, policy):
+    jobs, runtimes = trace
+    r = simulate_batch(jobs, POOL, policy,
+                       runtime_model="analytic", runtimes=runtimes)
+    assert sorted(o.job_id for o in r.jobs) == [j.job_id for j in jobs]
+    by_id = {j.job_id: j for j in jobs}
+    for o in r.jobs:
+        assert o.start >= by_id[o.job_id].submit
+        assert o.finish > o.start
+        assert o.wait >= 0
+        assert o.bounded_slowdown >= 1.0
+        if o.killed:
+            # rigid kill fires exactly at the walltime limit
+            assert o.finish == o.start + o.estimate
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=trace_strategy, policy=st.sampled_from(POLICIES))
+def test_schedules_byte_deterministic(trace, policy):
+    jobs, runtimes = trace
+    a = simulate_batch(jobs, POOL, policy,
+                       runtime_model="analytic", runtimes=runtimes)
+    b = simulate_batch(jobs, POOL, policy,
+                       runtime_model="analytic", runtimes=runtimes)
+    assert a == b
+    assert a.schedule_digest() == b.schedule_digest()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20),
+       policy=st.sampled_from(POLICIES))
+def test_generated_traces_deterministic_end_to_end(seed, policy):
+    # The full pipeline — spec -> regenerate trace -> schedule — is a pure
+    # function of the spec's content, which is what makes batch repetitions
+    # cacheable and provenance byte-stable.
+    wl = WorkloadConfig(n_jobs=5, interarrival_us=2_000, max_nodes=2)
+    spec = build_batch_specs(
+        policy, POOL, "stock", 1, base_seed=seed, workload=wl,
+        runtime_model="analytic",
+    )[0]
+    r1, _ = _execute_batch_spec(spec)
+    r2, _ = _execute_batch_spec(spec)
+    assert r1 == r2
+    assert r1.schedule_digest() == r2.schedule_digest()
+    assert r1.head_delays == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace=trace_strategy, max_share=st.integers(min_value=1, max_value=4))
+def test_share_respects_residency_cap(trace, max_share):
+    jobs, runtimes = trace
+    r = simulate_batch(jobs, POOL, "share",
+                       policy_params={"max_share": max_share},
+                       runtime_model="analytic", runtimes=runtimes)
+    assert all(o.shared_peak <= max_share for o in r.jobs)
+    assert r.kills == 0  # sharing dilates, never kills
