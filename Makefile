@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-faults test-cluster test-batch test-sanitize lint bench perf perf-gate report figures examples clean
+.PHONY: install test test-faults test-cluster test-batch test-batch-faults test-sanitize lint bench perf perf-gate report figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -31,6 +31,14 @@ test-batch:
 	$(PY) -m pytest tests/test_batch_workload.py tests/test_batch_policies.py \
 		tests/test_batch_campaign.py tests/test_properties_batch.py \
 		tests/test_cli_batch.py
+
+# Fault-aware batch scheduling: node failure/drain/requeue schedules, the
+# conservation-law property tests, the sim-runtime LRU memo, and the
+# crash->requeue->backfill golden fixture.
+test-batch-faults:
+	$(PY) -m pytest tests/test_batch_faults.py \
+		tests/test_properties_batch_faults.py \
+		tests/test_batch_runtime_memo.py tests/test_golden_provenance.py
 
 # Full suite with the scheduler invariant sanitizer attached to every
 # kernel (the simulator's lockdep/KASAN analog; see repro.kernel.invariants).

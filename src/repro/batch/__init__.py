@@ -23,6 +23,7 @@ from repro.batch.dispatcher import (
     BatchResult,
     JobOutcome,
     simulate_batch,
+    validate_batch_fault_plan,
 )
 from repro.batch.policies import (
     BATCH_POLICIES,
@@ -58,4 +59,5 @@ __all__ = [
     "make_policy",
     "run_batch_campaign",
     "simulate_batch",
+    "validate_batch_fault_plan",
 ]

@@ -51,6 +51,10 @@ def _execute_batch_spec(spec) -> Tuple[BatchResult, Optional[Dict]]:
         regime=spec.regime,
         runtime_model=spec.runtime_model,
         internode_latency=spec.workload.internode_latency,
+        fault_plan=spec.fault_plan,
+        job_retries=spec.job_retries,
+        restart_cost_us=spec.restart_cost_us,
+        placement=spec.placement,
     )
     return result, None
 
@@ -94,6 +98,18 @@ class BatchCampaignResult:
     def total_kills(self) -> int:
         return sum(r.kills for r in self.results)
 
+    def total_requeues(self) -> int:
+        return sum(getattr(r, "requeues", 0) for r in self.results)
+
+    def total_preempts(self) -> int:
+        return sum(getattr(r, "preempts", 0) for r in self.results)
+
+    def total_failed(self) -> int:
+        return sum(getattr(r, "failed", 0) for r in self.results)
+
+    def total_node_lost_us(self) -> float:
+        return sum(getattr(r, "node_lost_us", 0.0) for r in self.results)
+
 
 def build_batch_specs(
     policy: str,
@@ -105,13 +121,21 @@ def build_batch_specs(
     workload: Optional[WorkloadConfig] = None,
     runtime_model: str = "sim",
     policy_params: Optional[Dict[str, object]] = None,
+    fault_plan: Optional["FaultPlan"] = None,
+    job_retries: int = 2,
+    restart_cost_us: int = 2_000,
+    placement: str = "lowest",
 ) -> List["BatchRunSpec"]:
     """Materialize a batch campaign's repetitions as picklable specs.
 
     Mirrors ``build_campaign_specs``: seeds derive per run index, and the
     policy name is validated here (fail fast in the parent, not in a
-    worker), as are the workload/pool shapes the dispatcher would reject.
+    worker), as are the workload/pool shapes the dispatcher would reject —
+    including the fault plan's universe and node indices.  Every repetition
+    replays the *same* fault timeline (common-random-numbers discipline:
+    repetitions differ by trace seed, never by what broke).
     """
+    from repro.batch.dispatcher import PLACEMENTS, validate_batch_fault_plan
     from repro.batch.policies import make_policy
     from repro.batch.runtime import RUNTIME_MODELS
     from repro.experiments.runner import CLUSTER_REGIMES, _derive_seed
@@ -134,6 +158,16 @@ def build_batch_specs(
             f"workload generates up to {workload.max_nodes}-node jobs but the "
             f"pool has only {pool_nodes} nodes"
         )
+    if job_retries < 0:
+        raise ValueError("job_retries cannot be negative")
+    if restart_cost_us < 0:
+        raise ValueError("restart_cost_us cannot be negative")
+    if placement not in PLACEMENTS:
+        raise ValueError(
+            f"unknown placement {placement!r}; choose from {PLACEMENTS}"
+        )
+    if fault_plan is not None:
+        validate_batch_fault_plan(fault_plan, pool_nodes)
     params_tuple = (
         tuple(sorted(policy_params.items())) if policy_params else None
     )
@@ -147,6 +181,10 @@ def build_batch_specs(
             workload=workload,
             runtime_model=runtime_model,
             policy_params=params_tuple,
+            fault_plan=fault_plan,
+            job_retries=job_retries,
+            restart_cost_us=restart_cost_us,
+            placement=placement,
         )
         for i in range(n_runs)
     ]
@@ -162,6 +200,10 @@ def run_batch_campaign(
     workload: Optional[WorkloadConfig] = None,
     runtime_model: str = "sim",
     policy_params: Optional[Dict[str, object]] = None,
+    fault_plan: Optional["FaultPlan"] = None,
+    job_retries: int = 2,
+    restart_cost_us: int = 2_000,
+    placement: str = "lowest",
     label: str = "",
     provenance_path: Optional[str] = None,
     n_jobs: Optional[int] = 1,
@@ -208,6 +250,10 @@ def run_batch_campaign(
         workload=workload,
         runtime_model=runtime_model,
         policy_params=policy_params,
+        fault_plan=fault_plan,
+        job_retries=job_retries,
+        restart_cost_us=restart_cost_us,
+        placement=placement,
     )
     jobs = resolve_jobs(n_jobs)
     cache = (
@@ -240,10 +286,28 @@ def run_batch_campaign(
     def on_record(record) -> None:
         if telemetry is not None:
             reg = telemetry.registry
-            reg.counter("batch.backfills").inc(record.result.backfills)
-            reg.counter("batch.colocations").inc(record.result.colocations)
-            reg.counter("batch.kills").inc(record.result.kills)
-            reg.gauge("batch.queue_depth").set(record.result.queue_depth_peak)
+            res = record.result
+            reg.counter("batch.backfills").inc(res.backfills)
+            reg.counter("batch.colocations").inc(res.colocations)
+            reg.counter("batch.kills").inc(res.kills)
+            reg.gauge("batch.queue_depth").set(res.queue_depth_peak)
+            # getattr: cached results from before the fault universe lack
+            # the fields; such results are by definition unarmed.
+            if getattr(res, "fault_plan_digest", None) is not None:
+                reg.counter("batch.requeues").inc(res.requeues)
+                reg.counter("batch.preempts").inc(res.preempts)
+                reg.counter("batch.drains").inc(res.drains)
+                reg.counter("batch.node_lost_s").inc(res.node_lost_us / 1e6)
+                telemetry.batch_schedule(
+                    run_index=record.run_index,
+                    requeues=res.requeues,
+                    preempts=res.preempts,
+                    drains=res.drains,
+                    node_fails=res.node_fails,
+                    failed=res.failed,
+                    kills=res.kills,
+                    node_lost_s=round(res.node_lost_us / 1e6, 6),
+                )
         if prov_fh is None:
             return
         append_record(

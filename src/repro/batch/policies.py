@@ -85,8 +85,12 @@ class EasyPolicy(BatchPolicy):
         # Reservation: walk running jobs in guaranteed-release order until
         # enough nodes are certain to be free for the head.  Walltime
         # bounds are enforced by kill, so releases can only happen earlier.
+        # Only *reclaimable* nodes count: a node that failed or started
+        # draining under a resident never returns to the pool at release,
+        # so banking on it would promise capacity that cannot exist.
         releases = sorted(
-            (rj.guaranteed_release, rj.job.n_nodes, rj.job.job_id)
+            (rj.guaranteed_release, disp.reclaimable_nodes(rj),
+             rj.job.job_id)
             for rj in disp.running.values()
         )
         available = disp.free_count
@@ -99,7 +103,16 @@ class EasyPolicy(BatchPolicy):
                 extra = available - head.n_nodes
                 break
         if shadow is None:
-            # Head exceeds the whole pool; validated away at dispatch time.
+            # The head exceeds every node the surviving pool can ever
+            # free (unreachable unarmed: dispatch validates trace width
+            # against the full pool).  No reservation is honest, so fill
+            # the free nodes greedily rather than idling the machine —
+            # the head waits for a node_return or the starvation sweep.
+            free_now = disp.free_count
+            for job in list(disp.queue[1:]):
+                if job.n_nodes <= free_now:
+                    disp.start_rigid(job, backfilled=True)
+                    free_now -= job.n_nodes
             return
         disp.record_reservation(head.job_id, shadow)
         # Backfill pass: anything that fits the free nodes *now* and
@@ -165,9 +178,13 @@ class SharePolicy(BatchPolicy):
         return {"max_share": self.max_share}
 
     def schedule(self, disp) -> None:
-        while disp.queue:
-            job = disp.queue[0]
+        for job in list(disp.queue):
             nodes = disp.least_loaded_nodes(job.n_nodes)
+            if len(nodes) < job.n_nodes:
+                # Not enough in-service nodes for this width right now
+                # (failed/draining capacity); narrower jobs behind it may
+                # still fit, so skip rather than stall the whole queue.
+                continue
             if max(disp.residents_on(n) for n in nodes) >= self.max_share:
                 # Oversubscription cap reached; keep FCFS order while the
                 # pool drains rather than burying it deeper.

@@ -49,7 +49,10 @@ _ANALYTIC_OVERHEAD: Dict[str, tuple] = {
 #: Process-wide memo of sim-model runtimes, keyed by shape digest.  Values
 #: are pure functions of the key, so sharing the memo across repetitions
 #: (and across policies scheduling the same trace) never changes a result —
-#: it only skips identical simulations.
+#: it only skips identical simulations.  Bounded LRU: dict insertion order
+#: doubles as recency (hits re-insert their key), and crossing the cap
+#: evicts oldest-first, so a long campaign that overflows the cap keeps
+#: its hot working set instead of re-simulating everything.
 _SIM_MEMO: Dict[str, int] = {}
 _SIM_MEMO_CAP = 4096
 
@@ -63,8 +66,9 @@ def _sim_runtime(job: BatchJob, regime: str, internode_latency: int) -> int:
     from repro.parallel.jobspec import stable_digest
 
     key = stable_digest(job.shape_fingerprint(regime, internode_latency))
-    hit = _SIM_MEMO.get(key)
+    hit = _SIM_MEMO.pop(key, None)
     if hit is not None:
+        _SIM_MEMO[key] = hit  # refresh recency
         return hit
     from repro.cluster.multinode import run_cluster_job
 
@@ -77,8 +81,8 @@ def _sim_runtime(job: BatchJob, regime: str, internode_latency: int) -> int:
         internode_latency=internode_latency,
     )
     runtime = max(1, result.app_time)
-    if len(_SIM_MEMO) >= _SIM_MEMO_CAP:
-        _SIM_MEMO.clear()
+    while len(_SIM_MEMO) >= _SIM_MEMO_CAP:
+        _SIM_MEMO.pop(next(iter(_SIM_MEMO)))
     _SIM_MEMO[key] = runtime
     return runtime
 

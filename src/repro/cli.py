@@ -73,6 +73,26 @@ def _nonneg_int(text: str) -> int:
     return value
 
 
+def _node_at(text: str) -> tuple:
+    """argparse type: ``NODE@TIME`` (batch pool fault events, µs)."""
+    node_s, sep, at_s = text.partition("@")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected NODE@TIME_US, got {text!r}"
+        )
+    try:
+        node, at = int(node_s), int(at_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected NODE@TIME_US with integer parts, got {text!r}"
+        )
+    if node < 0 or at < 0:
+        raise argparse.ArgumentTypeError(
+            f"node and time must be >= 0, got {text!r}"
+        )
+    return node, at
+
+
 def _positive_float(text: str) -> float:
     """argparse type: a finite float > 0 (per-run timeouts, in seconds)."""
     try:
@@ -414,6 +434,47 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--max-share", type=_positive_int, default=4,
                        metavar="K",
                        help="co-residency cap for the share policy (default 4)")
+    batch.add_argument("--fail-node", type=_node_at, action="append",
+                       default=None, metavar="NODE@US",
+                       help="fail-stop pool NODE at time US (repeatable); "
+                            "resident jobs are requeued")
+    batch.add_argument("--drain-node", type=_node_at, action="append",
+                       default=None, metavar="NODE@US",
+                       help="drain pool NODE at time US (repeatable); no new "
+                            "placements, residents finish")
+    batch.add_argument("--return-node", type=_node_at, action="append",
+                       default=None, metavar="NODE@US",
+                       help="return a failed/drained NODE to service at US "
+                            "(repeatable)")
+    batch.add_argument("--drain-preempt", action="store_true",
+                       help="drains preempt-and-requeue residents instead of "
+                            "letting them finish")
+    batch.add_argument("--mtbf", type=_positive_int, default=None,
+                       metavar="US",
+                       help="arm a seeded per-node MTBF fail/repair timeline "
+                            "(mean exponential inter-failure gap, µs)")
+    batch.add_argument("--repair", type=_positive_int, default=25_000,
+                       metavar="US",
+                       help="repair time for --mtbf failures (default 25000)")
+    batch.add_argument("--fault-horizon", type=_positive_int, default=120_000,
+                       metavar="US",
+                       help="--mtbf timeline horizon (default 120000)")
+    batch.add_argument("--plan-seed", type=_nonneg_int, default=None,
+                       metavar="S",
+                       help="seed of the --mtbf timeline (default: --seed)")
+    batch.add_argument("--job-retries", type=_nonneg_int, default=2,
+                       metavar="N",
+                       help="fault-kill requeues per job before it fails "
+                            "terminally (default 2)")
+    batch.add_argument("--restart-cost", type=_nonneg_int, default=2_000,
+                       metavar="US",
+                       help="checkpoint-resume surcharge per restart "
+                            "(default 2000)")
+    batch.add_argument("--placement", default="lowest",
+                       choices=["lowest", "wary"],
+                       help="rigid placement rule: lowest-id-first (default) "
+                            "or failure-aware ('wary' deprioritizes "
+                            "recently-failed nodes)")
     batch.add_argument("--provenance", default=None, metavar="PATH",
                        help="stream one JSONL provenance record per repetition "
                             "to PATH (byte-identical at any --jobs)")
@@ -423,7 +484,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp.add_argument("exp_id", help="fig1 fig2 fig3 fig4 tab1a tab1b tab2 policy "
                                     "resonance multinode decompose resilience "
-                                    "cluster-resilience two-level")
+                                    "cluster-resilience two-level "
+                                    "batch-resilience")
     exp.add_argument("-n", "--runs", type=_positive_int, default=50)
     exp.add_argument("--seed", type=_nonneg_int, default=0)
     _add_exec_flags(exp)
@@ -1052,6 +1114,45 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_fault_plan(args):
+    """Fold the batch fault flags into one FaultPlan (None = unarmed).
+
+    Explicit ``--fail-node/--drain-node/--return-node`` events merge with
+    the seeded ``--mtbf`` timeline; the result is validated against the
+    pool before any work starts.
+    """
+    from repro.batch.dispatcher import validate_batch_fault_plan
+    from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+    events = []
+    for node, at in args.fail_node or ():
+        events.append(FaultEvent(at=at, kind=FaultKind.NODE_FAIL, node=node))
+    for node, at in args.drain_node or ():
+        events.append(FaultEvent(at=at, kind=FaultKind.NODE_DRAIN, node=node,
+                                 preempt=args.drain_preempt))
+    for node, at in args.return_node or ():
+        events.append(FaultEvent(at=at, kind=FaultKind.NODE_RETURN, node=node))
+    if args.mtbf is not None:
+        seed = args.plan_seed if args.plan_seed is not None else args.seed
+        mtbf_plan = FaultPlan.mtbf(
+            seed,
+            horizon=args.fault_horizon,
+            n_nodes=args.pool,
+            mtbf_us=args.mtbf,
+            repair_us=args.repair,
+        )
+        events.extend(mtbf_plan.events)
+        label = mtbf_plan.label if not (args.fail_node or args.drain_node
+                                        or args.return_node) else "cli+mtbf"
+    else:
+        label = "cli"
+    if not events:
+        return None
+    plan = FaultPlan.schedule(events, label=label)
+    validate_batch_fault_plan(plan, args.pool)
+    return plan
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.batch.campaign import run_batch_campaign
     from repro.batch.workload import WorkloadConfig
@@ -1061,6 +1162,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"error: --max-nodes {args.max_nodes} exceeds --pool "
               f"{args.pool}; the widest job could never start",
               file=sys.stderr)
+        return 2
+    try:
+        fault_plan = _batch_fault_plan(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     if not _resume_usable(args):
         return 2
@@ -1088,6 +1194,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             workload=workload,
             runtime_model=args.runtime_model,
             policy_params=policy_params,
+            fault_plan=fault_plan,
+            job_retries=args.job_retries,
+            restart_cost_us=args.restart_cost,
+            placement=args.placement,
             provenance_path=args.provenance,
             n_jobs=args.jobs, use_cache=args.use_cache,
             cache_dir=args.cache_dir,
@@ -1122,6 +1232,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"  traffic    backfills {campaign.total_backfills()}  "
               f"colocations {campaign.total_colocations()}  "
               f"kills {campaign.total_kills()}")
+        if fault_plan is not None:
+            print(f"  faults     plan '{fault_plan.label}' "
+                  f"({len(fault_plan)} event(s))  "
+                  f"requeues {campaign.total_requeues()}  "
+                  f"preempts {campaign.total_preempts()}  "
+                  f"failed {campaign.total_failed()}  "
+                  f"node-lost {campaign.total_node_lost_us() / 1000:.1f} ms")
     else:
         print("  (no repetition completed — every run is a hole)")
     print(f"  exec  {campaign.jobs} worker(s), "

@@ -191,6 +191,16 @@ def _two_level(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: 
     )
 
 
+def _batch_resilience(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
+          supervise=None, resume: bool = False):
+    from repro.experiments.batchres import batch_resilience_campaign
+
+    return batch_resilience_campaign(
+        n_runs=n_runs, base_seed=seed, n_jobs=n_jobs, use_cache=use_cache,
+        supervise=supervise, resume=resume,
+    )
+
+
 def _decomposition(n_runs: int, seed: int, *, n_jobs: Optional[int] = 1, use_cache: bool = False,
           supervise=None, resume: bool = False):
     from repro.analysis.decomposition import decompose_nas_noise
@@ -266,6 +276,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "Batch policies (FCFS/EASY/priority/share) x node regimes: does "
         "HPL's noise-immunity survive packing, backfilling, co-location?",
         _two_level,
+    ),
+    "batch-resilience": Experiment(
+        "batch-resilience", "SS VI (robustness extension)",
+        "Batch policies x node regimes x fault intensity: node failures, "
+        "drains, requeue with checkpoint-aware restart",
+        _batch_resilience,
     ),
 }
 

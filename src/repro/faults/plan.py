@@ -46,14 +46,26 @@ class FaultKind:
     NODE_SLOWDOWN = "node_slowdown"
     #: Inflate the internode latency for a window (or one node pair).
     LINK_DEGRADE = "link_degrade"
+    #: Fail-stop of a batch-pool node: resident jobs are killed and
+    #: requeued by the dispatcher; the node stays out of service until a
+    #: ``node_return``.
+    NODE_FAIL = "node_fail"
+    #: Maintenance drain: no new placements on the node; residents either
+    #: finish (default) or are preempted-and-requeued (``preempt=True``).
+    NODE_DRAIN = "node_drain"
+    #: A failed or drained pool node re-enters service.
+    NODE_RETURN = "node_return"
 
     #: Faults a single :class:`~repro.kernel.kernel.Kernel` can absorb.
     LOCAL = (CPU_OFFLINE, CPU_ONLINE, RANK_CRASH, RUNAWAY, NOISE_BURST)
     #: Faults that only make sense against a multi-node cluster job
     #: (``node_slowdown`` also works single-node: it scales that kernel).
     CLUSTER = (NODE_CRASH, NODE_SLOWDOWN, LINK_DEGRADE)
+    #: Faults against the batch layer's node pool (consumed by
+    #: :class:`repro.batch.dispatcher.BatchDispatcher`, not by kernels).
+    BATCH = (NODE_FAIL, NODE_DRAIN, NODE_RETURN)
 
-    ALL = LOCAL + CLUSTER
+    ALL = LOCAL + CLUSTER + BATCH
 
 
 @dataclass(frozen=True)
@@ -69,7 +81,10 @@ class FaultEvent:
     * ``node_slowdown`` — ``factor`` in (0, 1) for ``duration`` µs,
       optional ``node``;
     * ``link_degrade`` — extra ``latency`` µs for ``duration`` µs,
-      optional ``node``/``peer`` pair (both None = every link).
+      optional ``node``/``peer`` pair (both None = every link);
+    * ``node_fail`` / ``node_return`` — ``node`` (a batch-pool node id);
+    * ``node_drain`` — ``node``, plus ``preempt`` (preempt-and-requeue
+      residents instead of letting them finish).
     """
 
     at: int
@@ -85,6 +100,7 @@ class FaultEvent:
     factor: float = 1.0
     latency: int = 0
     peer: Optional[int] = None
+    preempt: bool = False
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -127,6 +143,10 @@ class FaultEvent:
                     raise ValueError("link_degrade peer index cannot be negative")
                 if self.node is None:
                     raise ValueError("link_degrade peer needs a node too")
+        elif self.kind in (FaultKind.NODE_FAIL, FaultKind.NODE_DRAIN,
+                           FaultKind.NODE_RETURN):
+            if self.node is None or self.node < 0:
+                raise ValueError(f"{self.kind} needs a pool node index")
 
     def as_dict(self) -> Dict:
         out: Dict = {"at": self.at, "kind": self.kind}
@@ -153,6 +173,10 @@ class FaultEvent:
                 latency=self.latency,
                 duration=self.duration,
             )
+        elif self.kind in (FaultKind.NODE_FAIL, FaultKind.NODE_RETURN):
+            out["node"] = self.node
+        elif self.kind == FaultKind.NODE_DRAIN:
+            out.update(node=self.node, preempt=self.preempt)
         return out
 
 
@@ -179,6 +203,57 @@ class FaultPlan:
         return cls(events=ordered, label=label)
 
     @classmethod
+    def mtbf(
+        cls,
+        seed: int,
+        *,
+        horizon: int,
+        n_nodes: int,
+        mtbf_us: int,
+        repair_us: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Seeded per-node fail/repair process for the batch node pool.
+
+        Each pool node draws independent exponential inter-failure gaps
+        (mean *mtbf_us*) from a private ``random.Random(seed)``; every
+        ``node_fail`` is paired with a ``node_return`` *repair_us* later.
+        ``repair_us=None`` makes failures permanent (one per node at most).
+        The plan is a pure function of ``(seed, horizon, n_nodes, mtbf_us,
+        repair_us)`` so its :meth:`digest` is reproducible anywhere.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if n_nodes <= 0:
+            raise ValueError("mtbf plans need a positive node count")
+        if mtbf_us <= 0:
+            raise ValueError("mtbf_us must be positive")
+        if repair_us is not None and repair_us <= 0:
+            raise ValueError("repair_us must be positive (or None)")
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        for node in range(n_nodes):
+            t = 0
+            while True:
+                t += max(1, int(rng.expovariate(1.0 / mtbf_us)))
+                if t > horizon:
+                    break
+                events.append(
+                    FaultEvent(at=t, kind=FaultKind.NODE_FAIL, node=node)
+                )
+                if repair_us is None:
+                    break  # fail-stop forever: at most one failure per node
+                t += repair_us
+                events.append(
+                    FaultEvent(at=t, kind=FaultKind.NODE_RETURN, node=node)
+                )
+        ordered = tuple(sorted(events, key=lambda e: e.at))
+        return cls(
+            events=ordered,
+            label=f"mtbf[{seed}]x{n_nodes}@{mtbf_us}",
+            seed=seed,
+        )
+
+    @classmethod
     def random(
         cls,
         seed: int,
@@ -186,6 +261,7 @@ class FaultPlan:
         horizon: int,
         n_cpus: int,
         n_ranks: int = 0,
+        n_nodes: int = 0,
         n_faults: int = 3,
         kinds: Sequence[str] = FaultKind.LOCAL,
         offline_recovery: Optional[int] = None,
@@ -214,7 +290,9 @@ class FaultPlan:
         usable = [
             k for k in kinds
             if not (k == FaultKind.RANK_CRASH and n_ranks == 0)
+            and not (k in FaultKind.BATCH and n_nodes == 0)
             and k != FaultKind.CPU_ONLINE  # paired with offline, not drawn
+            and k != FaultKind.NODE_RETURN  # paired with fail/drain, not drawn
         ]
         if not usable:
             raise ValueError("no usable fault kinds")
@@ -267,6 +345,19 @@ class FaultPlan:
                         kind=kind,
                         factor=round(rng.uniform(0.3, 0.8), 3),
                         duration=rng.randint(horizon // 20 + 1, horizon // 4 + 1),
+                    )
+                )
+            elif kind in (FaultKind.NODE_FAIL, FaultKind.NODE_DRAIN):
+                node = rng.randrange(n_nodes)
+                preempt = kind == FaultKind.NODE_DRAIN and rng.random() < 0.5
+                events.append(
+                    FaultEvent(at=at, kind=kind, node=node, preempt=preempt)
+                )
+                events.append(
+                    FaultEvent(
+                        at=at + offline_recovery,
+                        kind=FaultKind.NODE_RETURN,
+                        node=node,
                     )
                 )
             else:  # LINK_DEGRADE

@@ -143,8 +143,12 @@ def batch_run_record(
     by determinism.  Everything here is a pure function of the spec, so
     batch provenance obeys the same byte-identity contract as node-level
     and cluster records (the CI batch determinism leg diffs exactly this).
+
+    Like :func:`run_record`, the ``faults`` object (plan digest plus the
+    requeue/preempt/drain accounting) is attached only on faulted runs, so
+    fault-free batch records stay byte-stable across versions.
     """
-    return {
+    record = {
         "schema": PROVENANCE_SCHEMA_VERSION,
         "kind": "batch",
         "bench": bench,
@@ -169,6 +173,19 @@ def batch_run_record(
         "queue_depth_peak": result.queue_depth_peak,
         "head_delays": result.head_delays,
     }
+    # getattr: results unpickled from a pre-fault-universe cache lack the
+    # new fields; they are by definition unarmed, so the record is too.
+    if getattr(result, "fault_plan_digest", None) is not None:
+        record["faults"] = {
+            "plan_digest": result.fault_plan_digest,
+            "requeues": result.requeues,
+            "preempts": result.preempts,
+            "drains": result.drains,
+            "node_fails": result.node_fails,
+            "failed": result.failed,
+            "node_lost_us": result.node_lost_us,
+        }
+    return record
 
 
 def campaign_record(

@@ -26,6 +26,8 @@ Feed schema (``schema`` field on the header, bump on layout change)::
     {"event": "pool_shrink", "t", "jobs"}
     {"event": "hole", "t", "run_index", "attempts"}
     {"event": "quarantine", "t", "key"}
+    {"event": "batch_schedule", "t", "run_index", "requeues", "preempts",
+     "drains", "node_fails", "failed", "kills", "node_lost_s"}
     {"event": "campaign_finished", "t", "completed", "total",
      "cache_hits", "retries", "timeouts", "pool_deaths", "pool_shrinks",
      "holes", "replayed", "duration_s", "busy_s", "utilization", "jobs",
@@ -257,6 +259,12 @@ class CampaignTelemetry:
     def quarantine(self, *, key: str) -> None:
         self._emit("quarantine", key=key)
 
+    def batch_schedule(self, *, run_index: int, **counters) -> None:
+        """One faulted batch repetition's fault accounting (requeues,
+        preempts, drains, node_fails, failed, kills, node_lost_s) — the
+        live feed behind ``hpl-repro top``'s ``batch`` line."""
+        self._emit("batch_schedule", run_index=run_index, **counters)
+
     # ----------------------------------------------------------- lifecycle
 
     def close(self) -> None:
@@ -316,6 +324,9 @@ class TelemetrySummary:
     eta_s: Optional[float] = None
     wall_s: List[float] = field(default_factory=list)
     wait_s: List[float] = field(default_factory=list)
+    #: Folded ``batch_schedule`` fault accounting (empty for non-batch or
+    #: unarmed campaigns).
+    batch: Dict[str, float] = field(default_factory=dict)
 
     @property
     def executed(self) -> int:
@@ -362,6 +373,12 @@ def summarize_telemetry(events: List[Dict[str, object]]) -> TelemetrySummary:
             s.pool_shrinks += 1
         elif kind == "hole":
             s.holes += 1
+        elif kind == "batch_schedule":
+            for key, value in e.items():
+                if key in ("event", "t", "run_index"):
+                    continue
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    s.batch[key] = s.batch.get(key, 0) + value
         elif kind == "campaign_finished":
             s.finished = True
             s.duration_s = float(e.get("duration_s", last_t) or last_t)
@@ -418,6 +435,18 @@ def render_top(summary: TelemetrySummary) -> str:
         + (f"  ({retry_bits})" if retry_bits else "")
     )
     lines.append(f"  timeouts   : {s.timeouts}   pool deaths: {s.pool_deaths}")
+    if s.batch:
+        b = s.batch
+        lost = b.get("node_lost_s", 0.0)
+        lines.append(
+            "  batch      : "
+            f"requeues {int(b.get('requeues', 0))}  "
+            f"preempts {int(b.get('preempts', 0))}  "
+            f"drains {int(b.get('drains', 0))}  "
+            f"node fails {int(b.get('node_fails', 0))}  "
+            f"failed jobs {int(b.get('failed', 0))}  "
+            f"node-lost {lost:.3f}s"
+        )
     lines.append(f"  run wall   : {_stats(s.wall_s)} s")
     lines.append(f"  queue wait : {_stats(s.wait_s)} s")
     return "\n".join(lines) + "\n"

@@ -234,11 +234,27 @@ class BatchRunSpec:
     runtime_model: str = "sim"
     #: Sorted ``(key, value)`` policy tuning knobs (None = defaults).
     policy_params: Optional[Tuple[Tuple[str, object], ...]] = None
+    #: ``BATCH``-universe fault timeline replayed against the node pool
+    #: (None or empty = the historical fault-free dispatcher).
+    fault_plan: Optional[FaultPlan] = None
+    #: Fault-kill requeues each job may spend before failing terminally.
+    job_retries: int = 2
+    #: Checkpoint-resume surcharge (µs) every restart owes.
+    restart_cost_us: int = 2_000
+    #: Rigid placement rule: "lowest" (historical) or "wary"
+    #: (deprioritize recently-failed nodes).
+    placement: str = "lowest"
 
     def fingerprint(self) -> Dict[str, object]:
         """Everything schedule-relevant, as deterministic plain data
-        (same contract as :meth:`RunSpec.fingerprint`)."""
-        return {
+        (same contract as :meth:`RunSpec.fingerprint`).
+
+        The fault fields fold in only when the plan is *armed* (non-empty)
+        and ``placement`` only when it departs from the default — so every
+        unarmed spec keeps the digest it had before the fault universe
+        existed, and warm caches stay valid (zero-cost-when-unarmed).
+        """
+        fp = {
             "version": __version__,
             "kind": "batch",
             "seed": self.seed,
@@ -253,6 +269,13 @@ class BatchRunSpec:
             "workload": _jsonable(self.workload),
             "runtime_model": self.runtime_model,
         }
+        if self.fault_plan is not None and not self.fault_plan.is_empty:
+            fp["fault_plan"] = self.fault_plan.as_dict()
+            fp["job_retries"] = self.job_retries
+            fp["restart_cost_us"] = self.restart_cost_us
+        if self.placement != "lowest":
+            fp["placement"] = self.placement
+        return fp
 
     def digest(self) -> str:
         """Stable 32-hex content key (the cache key) for this spec."""

@@ -1,0 +1,343 @@
+"""Fault-aware batch scheduling: hand-checkable crash/drain/requeue schedules.
+
+Every test injects fixed base runtimes (the ``runtimes`` override) and an
+explicit fault timeline, so each schedule is exact integer arithmetic:
+restart demand = base - completed + restart_cost, verified by hand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch.dispatcher import (
+    PLACEMENTS,
+    simulate_batch,
+    validate_batch_fault_plan,
+)
+from repro.batch.workload import BatchJob
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+
+def job(job_id, submit, n_nodes, estimate, seed=1):
+    return BatchJob(
+        job_id=job_id, submit=submit, n_nodes=n_nodes, nprocs_per_node=4,
+        n_iters=3, estimate=estimate, seed=seed,
+    )
+
+
+def fail(at, node):
+    return FaultEvent(at=at, kind=FaultKind.NODE_FAIL, node=node)
+
+
+def drain(at, node, preempt=False):
+    return FaultEvent(at=at, kind=FaultKind.NODE_DRAIN, node=node,
+                      preempt=preempt)
+
+
+def ret(at, node):
+    return FaultEvent(at=at, kind=FaultKind.NODE_RETURN, node=node)
+
+
+def plan(*events):
+    return FaultPlan.schedule(tuple(events), label="test")
+
+
+def run(jobs, pool, policy, runtimes, fault_plan=None, **kw):
+    return simulate_batch(
+        tuple(jobs), pool, policy,
+        runtime_model="analytic", runtimes=runtimes,
+        fault_plan=fault_plan, **kw,
+    )
+
+
+def outcomes(result):
+    return {o.job_id: o for o in result.jobs}
+
+
+# ------------------------------------------------------ zero-cost contract
+
+def test_unarmed_and_armed_empty_are_byte_identical():
+    jobs = [job(i, 3 * i, 1 + i % 2, 50) for i in range(6)]
+    runtimes = {i: 30 + 5 * i for i in range(6)}
+    unarmed = run(jobs, 3, "easy", runtimes)
+    empty = run(jobs, 3, "easy", runtimes, fault_plan=FaultPlan.none())
+    assert empty.schedule_digest() == unarmed.schedule_digest()
+    assert empty.fault_plan_digest is None
+    assert empty.node_lost_us == 0.0
+
+
+def test_armed_but_fault_free_run_reproduces_unarmed_schedule():
+    # A fault far past the makespan: every job outcome must match the
+    # unarmed schedule exactly; only the digest gains the faults section.
+    jobs = [job(0, 0, 1, 100), job(1, 1, 2, 100), job(2, 2, 1, 10)]
+    runtimes = {0: 100, 1: 100, 2: 10}
+    unarmed = run(jobs, 2, "easy", runtimes)
+    armed = run(jobs, 2, "easy", runtimes,
+                fault_plan=plan(fail(10_000_000, 0)))
+    assert armed.jobs == unarmed.jobs
+    assert armed.fault_plan_digest is not None
+    assert armed.schedule_digest() != unarmed.schedule_digest()
+
+
+# ------------------------------------------------------ fail-stop requeue
+
+def test_node_fail_requeues_with_checkpoint_restart():
+    # job0 (base 8000) starts on node 0 at t=0; node 0 dies at t=2000.
+    # 2000 us of work survives the eviction, so the restart on node 1 owes
+    # 8000 - 2000 + 2000(restart cost) = 8000 and finishes at 10000.
+    r = run([job(0, 0, 1, 20_000)], 2, "fcfs", {0: 8_000},
+            fault_plan=plan(fail(2_000, 0)), restart_cost_us=2_000)
+    o = outcomes(r)[0]
+    assert o.requeues == 1 and not o.failed and not o.killed
+    assert o.start == 0 and o.finish == 10_000
+    assert o.runtime == 10_000            # 2000 lost-start + 8000 restart
+    assert o.held_node_us == 10_000
+    assert r.requeues == 1 and r.node_fails == 1 and r.failed == 0
+    # node 0 is lost from the crash until the schedule drains at t=10000.
+    assert r.node_lost_us == 8_000
+
+
+def test_node_return_restores_capacity():
+    # Pool of 1: the crash stalls the queue until the node returns.
+    # Restart at t=3000 owes 5000 - 1000 + 2000 = 6000 -> finish 9000.
+    r = run([job(0, 0, 1, 20_000)], 1, "fcfs", {0: 5_000},
+            fault_plan=plan(fail(1_000, 0), ret(3_000, 0)),
+            restart_cost_us=2_000)
+    o = outcomes(r)[0]
+    assert o.requeues == 1 and not o.failed
+    assert o.finish == 9_000
+    assert r.node_lost_us == 2_000        # down from 1000 to 3000
+
+
+def test_retry_budget_exhausted_fails_job():
+    r = run([job(0, 0, 1, 100_000)], 1, "fcfs", {0: 50_000},
+            fault_plan=plan(fail(1_000, 0), ret(2_000, 0), fail(3_000, 0),
+                            ret(4_000, 0)),
+            job_retries=1)
+    o = outcomes(r)[0]
+    assert o.failed and not o.killed
+    assert o.requeues == 1                # second eviction is terminal
+    assert r.failed == 1 and r.node_fails == 2
+
+
+def test_fail_is_idempotent_on_dead_node():
+    r = run([job(0, 0, 1, 20_000)], 2, "fcfs", {0: 8_000},
+            fault_plan=plan(fail(2_000, 0), fail(2_500, 0)),
+            job_retries=1)
+    o = outcomes(r)[0]
+    assert not o.failed and o.requeues == 1
+    assert r.node_fails == 1              # the second strike is a no-op
+
+
+# ------------------------------------------------------------------ drains
+
+def test_drain_graceful_lets_resident_finish():
+    # Non-preempting drain: job0 runs to its natural finish; the schedule's
+    # job outcomes are identical to the unarmed run.
+    jobs = [job(0, 0, 1, 20_000)]
+    unarmed = run(jobs, 2, "fcfs", {0: 5_000})
+    drained = run(jobs, 2, "fcfs", {0: 5_000},
+                  fault_plan=plan(drain(1_000, 0)))
+    assert drained.jobs == unarmed.jobs
+    assert drained.drains == 1 and drained.preempts == 0
+
+
+def test_drain_blocks_new_placements():
+    # Pool of 1 drained before the job arrives: it can never start, and the
+    # starvation sweep fails it terminally when the timeline is exhausted.
+    r = run([job(0, 2_000, 1, 20_000)], 1, "fcfs", {0: 5_000},
+            fault_plan=plan(drain(1_000, 0)))
+    o = outcomes(r)[0]
+    assert o.failed and o.runtime == 0
+    assert r.failed == 1 and r.drains == 1
+
+
+def test_drain_preempt_requeues_without_burning_retries():
+    # job_retries=0, yet the preempted job survives: administrative moves
+    # do not spend the failure budget.  Restart demand 8000-2000+2000.
+    r = run([job(0, 0, 1, 20_000)], 2, "fcfs", {0: 8_000},
+            fault_plan=plan(drain(2_000, 0, preempt=True)),
+            job_retries=0, restart_cost_us=2_000)
+    o = outcomes(r)[0]
+    assert not o.failed and o.requeues == 1
+    assert o.finish == 10_000
+    assert r.preempts == 1 and r.node_fails == 0
+
+
+# -------------------------------------------------- EASY repair + backfill
+
+def test_crash_requeue_backfill_into_hole():
+    # Classic EASY backfill (j2 into j0's shadow), then node 1 dies under
+    # the backfilled job.  When the node returns, j2's restart (demand
+    # 10 - 3 + 2 = 9) still fits the head's reservation and is backfilled
+    # into the hole again.  The head must start exactly on time.
+    jobs = [job(0, 0, 1, 100), job(1, 1, 2, 100), job(2, 2, 1, 10)]
+    runtimes = {0: 100, 1: 100, 2: 10}
+    r = run(jobs, 2, "easy", runtimes,
+            fault_plan=plan(fail(5, 1), ret(20, 1)), restart_cost_us=2)
+    o = outcomes(r)
+    assert o[2].requeues == 1 and o[2].backfilled
+    assert o[2].start == 2 and o[2].finish == 29      # restart at 20, +9
+    assert o[1].start == 100                          # head kept honest
+    assert r.head_delays == 0
+    assert r.backfills == 2                           # both of j2's starts
+
+
+def test_easy_repairs_reservation_against_surviving_pool():
+    # The head's reservation was computed against 2 nodes; after node 1
+    # dies the promise must be re-derived, not audited against the dead
+    # pool.  head_delays stays 0 even though the head starts later than
+    # the original promise.
+    jobs = [job(0, 0, 1, 100), job(1, 1, 2, 100)]
+    r = run(jobs, 2, "easy", {0: 100, 1: 100},
+            fault_plan=plan(fail(50, 1), ret(150, 1)))
+    o = outcomes(r)
+    assert o[1].start == 150 and not o[1].failed
+    assert r.head_delays == 0
+
+
+def test_head_too_wide_for_surviving_pool_backfills_rest():
+    # The 2-node head can never run on the surviving 1-node pool
+    # (shadow=None), so EASY greedily runs the narrow jobs behind it
+    # rather than wedging the whole queue; the head is failed terminally
+    # by the starvation sweep.
+    jobs = [job(0, 0, 2, 100), job(1, 1, 1, 50), job(2, 2, 1, 50)]
+    r = run(jobs, 2, "easy", {0: 100, 1: 50, 2: 50},
+            fault_plan=plan(fail(0, 1)))
+    o = outcomes(r)
+    assert o[0].failed
+    assert not o[1].failed and not o[2].failed
+    assert o[1].finish == 51 and o[2].finish == 101   # back to back
+
+
+# ------------------------------------------------------------------- share
+
+def test_share_redistributes_after_failure():
+    # Two jobs on separate nodes; node 1 dies, its resident restarts on
+    # node 0 and the pair timeshares (rate 1/2 each).
+    jobs = [job(0, 0, 1, 100_000), job(1, 0, 1, 100_000)]
+    r = run(jobs, 2, "share", {0: 10_000, 1: 10_000},
+            fault_plan=plan(fail(2_000, 1)), restart_cost_us=1_000)
+    o = outcomes(r)
+    assert o[1].requeues == 1 and not o[1].failed
+    assert o[0].shared_peak == 2 and o[1].shared_peak == 2
+    assert not o[0].failed
+    assert o[0].finish > 10_000           # dilated by the refugee
+
+
+def test_share_skips_jobs_wider_than_surviving_pool():
+    # After the crash only one node survives: the 2-node job can never
+    # start (failed by the sweep), but the narrow job behind it runs.
+    jobs = [job(0, 0, 2, 100_000), job(1, 1, 1, 100_000)]
+    r = run(jobs, 2, "share", {0: 10_000, 1: 5_000},
+            fault_plan=plan(fail(0, 1)))
+    o = outcomes(r)
+    assert o[0].failed and not o[1].failed
+    assert o[1].finish == 5_001           # starts alone at its arrival
+
+
+# --------------------------------------------------------------- placement
+
+def test_wary_placement_avoids_previously_failed_node():
+    # Node 0 fails once and returns.  j1 then arrives with both nodes
+    # free: "lowest" puts it on node 0 (so the later node-1 fail misses
+    # it); "wary" prefers the never-failed node 1 (so the fail hits it).
+    jobs = [job(0, 0, 1, 20_000), job(1, 10_000, 1, 20_000)]
+    runtimes = {0: 1_000, 1: 4_000}
+    timeline = plan(fail(500, 0), ret(600, 0), fail(11_000, 1))
+    lowest = run(jobs, 2, "fcfs", runtimes, fault_plan=timeline)
+    wary = run(jobs, 2, "fcfs", runtimes, fault_plan=timeline,
+               placement="wary")
+    assert outcomes(lowest)[1].requeues == 0
+    assert outcomes(wary)[1].requeues == 1
+
+
+def test_wary_equals_lowest_when_no_failures_recorded():
+    jobs = [job(i, 2 * i, 1, 50) for i in range(4)]
+    runtimes = {i: 30 for i in range(4)}
+    a = run(jobs, 2, "fcfs", runtimes)
+    b = run(jobs, 2, "fcfs", runtimes, placement="wary")
+    assert a.jobs == b.jobs
+    assert "wary" in PLACEMENTS
+
+
+# ------------------------------------------------------------- accounting
+
+def test_node_seconds_balance_under_faults():
+    jobs = [job(i, 2 * i, 1 + i % 2, 50_000) for i in range(5)]
+    runtimes = {i: 8_000 + 1_000 * i for i in range(5)}
+    r = run(jobs, 3, "fcfs", runtimes,
+            fault_plan=plan(fail(5_000, 0), ret(9_000, 0),
+                            drain(12_000, 2, preempt=True), ret(30_000, 2)))
+    assert r.busy_node_us == pytest.approx(
+        sum(o.held_node_us for o in r.jobs))
+
+
+def test_starved_jobs_fail_terminally():
+    # The whole pool dies and never returns: the resident is requeued then
+    # failed by the sweep; the later arrival never starts at all.
+    jobs = [job(0, 0, 1, 20_000), job(1, 2_000, 1, 20_000)]
+    r = run(jobs, 1, "fcfs", {0: 5_000, 1: 5_000},
+            fault_plan=plan(fail(1_000, 0)))
+    o = outcomes(r)
+    assert o[0].failed and o[0].requeues == 1
+    assert o[1].failed and o[1].runtime == 0 and o[1].requeues == 0
+    assert r.failed == 2 and not any(not x.failed for x in r.jobs)
+
+
+def test_faulted_schedule_is_deterministic():
+    jobs = [job(i, 3 * i, 1 + i % 3, 60_000) for i in range(8)]
+    runtimes = {i: 9_000 + 700 * i for i in range(8)}
+    timeline = plan(fail(10_000, 0), ret(25_000, 0),
+                    drain(15_000, 2, preempt=True), ret(40_000, 2))
+    a = run(jobs, 3, "easy", runtimes, fault_plan=timeline)
+    b = run(jobs, 3, "easy", runtimes, fault_plan=timeline)
+    assert a == b
+    assert a.schedule_digest() == b.schedule_digest()
+
+
+# ------------------------------------------------------------- validation
+
+def test_validate_rejects_wrong_universe():
+    bad = FaultPlan.schedule(
+        (FaultEvent(at=10, kind=FaultKind.CPU_OFFLINE, cpu=0),))
+    with pytest.raises(ValueError, match="cannot contain"):
+        validate_batch_fault_plan(bad, 4)
+
+
+def test_validate_rejects_node_outside_pool():
+    with pytest.raises(ValueError, match="only 2 nodes"):
+        validate_batch_fault_plan(plan(fail(10, 2)), 2)
+
+
+def test_dispatcher_rejects_bad_knobs():
+    with pytest.raises(ValueError):
+        run([job(0, 0, 1, 100)], 1, "fcfs", {0: 50}, placement="nearest")
+    with pytest.raises(ValueError):
+        run([job(0, 0, 1, 100)], 1, "fcfs", {0: 50}, job_retries=-1)
+    with pytest.raises(ValueError):
+        run([job(0, 0, 1, 100)], 1, "fcfs", {0: 50}, restart_cost_us=-5)
+
+
+# ------------------------------------------------------------- MTBF plans
+
+def test_mtbf_plan_is_seeded_and_bounded():
+    a = FaultPlan.mtbf(7, horizon=100_000, n_nodes=4, mtbf_us=40_000,
+                       repair_us=10_000)
+    b = FaultPlan.mtbf(7, horizon=100_000, n_nodes=4, mtbf_us=40_000,
+                       repair_us=10_000)
+    assert a.digest() == b.digest()
+    assert all(ev.kind in FaultKind.BATCH for ev in a.events)
+    assert all(ev.at <= 100_000 + 10_000 for ev in a.events)
+    assert any(ev.kind == FaultKind.NODE_FAIL for ev in a.events)
+    c = FaultPlan.mtbf(8, horizon=100_000, n_nodes=4, mtbf_us=40_000,
+                       repair_us=10_000)
+    assert c.digest() != a.digest()
+
+
+def test_mtbf_without_repair_is_fail_stop():
+    p = FaultPlan.mtbf(3, horizon=200_000, n_nodes=3, mtbf_us=50_000)
+    assert all(ev.kind == FaultKind.NODE_FAIL for ev in p.events)
+    # fail-stop: at most one failure per node
+    nodes = [ev.node for ev in p.events]
+    assert len(nodes) == len(set(nodes))

@@ -92,3 +92,83 @@ def test_batch_share_reports_colocations(tmp_path, capsys):
 def test_two_level_experiment_listed(capsys):
     assert main(["list"]) == 0
     assert "two-level" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------------- faults
+
+def test_parser_fault_flag_defaults():
+    args = build_parser().parse_args(["batch", "fcfs"])
+    assert args.fail_node is None and args.drain_node is None
+    assert args.return_node is None and args.mtbf is None
+    assert args.job_retries == 2
+    assert args.restart_cost == 2_000
+    assert args.placement == "lowest"
+
+
+def test_parser_node_at_syntax():
+    args = build_parser().parse_args([
+        "batch", "fcfs", "--fail-node", "1@5000", "--fail-node", "0@9000",
+        "--drain-node", "2@100", "--return-node", "1@20000",
+    ])
+    assert args.fail_node == [(1, 5000), (0, 9000)]
+    assert args.drain_node == [(2, 100)]
+    assert args.return_node == [(1, 20000)]
+
+
+def test_parser_rejects_malformed_node_at():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["batch", "fcfs", "--fail-node", "1"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["batch", "fcfs", "--fail-node", "x@10"])
+
+
+def test_batch_faulted_run_reports_fault_traffic(tmp_path, capsys):
+    assert main(_argv(tmp_path, "--fail-node", "0@2000",
+                      "--return-node", "0@30000")) == 0
+    out = capsys.readouterr().out
+    assert "faults" in out and "requeues" in out and "node-lost" in out
+    assert "plan 'cli' (2 event(s))" in out
+
+
+def test_batch_unarmed_run_has_no_fault_line(tmp_path, capsys):
+    assert main(_argv(tmp_path)) == 0
+    out = capsys.readouterr().out
+    assert "faults     plan" not in out
+
+
+def test_batch_mtbf_flag_arms_a_seeded_plan(tmp_path, capsys):
+    assert main(_argv(tmp_path, "--mtbf", "50000", "--repair", "20000",
+                      "--fault-horizon", "100000")) == 0
+    out = capsys.readouterr().out
+    assert "faults     plan 'mtbf[" in out
+
+
+def test_batch_rejects_fault_on_node_outside_pool(tmp_path, capsys):
+    rc = main(_argv(tmp_path, "--fail-node", "7@100"))
+    assert rc == 2
+    assert "only 2 nodes" in capsys.readouterr().err
+
+
+def test_batch_faulted_provenance_identical_across_worker_counts(tmp_path):
+    p1, p4 = tmp_path / "f1.jsonl", tmp_path / "f4.jsonl"
+    flags = ["--mtbf", "60000", "--repair", "20000", "--jobs"]
+    assert main(_argv(tmp_path, "--provenance", str(p1), *flags, "1")) == 0
+    assert main(_argv(tmp_path, "--provenance", str(p4), *flags, "4")) == 0
+    assert p1.read_bytes() == p4.read_bytes()
+    records = [json.loads(line) for line in p1.open(encoding="utf-8")]
+    assert all("faults" in rec for rec in records)
+    assert all(rec["faults"]["plan_digest"] for rec in records)
+
+
+def test_batch_faulted_resume_is_byte_identical(tmp_path):
+    cold, warm = tmp_path / "cold.jsonl", tmp_path / "warm.jsonl"
+    flags = ["--fail-node", "0@5000", "--return-node", "0@20000"]
+    assert main(_argv(tmp_path, "--provenance", str(cold), *flags)) == 0
+    assert main(_argv(tmp_path, "--provenance", str(warm), "--resume",
+                      *flags)) == 0
+    assert cold.read_bytes() == warm.read_bytes()
+
+
+def test_batch_resilience_experiment_listed(capsys):
+    assert main(["list"]) == 0
+    assert "batch-resilience" in capsys.readouterr().out

@@ -171,3 +171,40 @@ def test_parser_accepts_new_subcommands():
     assert args.command == "replay" and args.width == 640
     with pytest.raises(SystemExit):
         parser.parse_args(["replay", "t.json", "--format", "weird"])
+
+
+# --------------------------------------------------------- top: batch faults
+
+
+def test_top_renders_batch_fault_counters(tmp_path, capsys):
+    feed = tmp_path / "batch.jsonl"
+    assert main([
+        "batch", "fcfs", "--pool", "2", "-n", "2", "--trace-jobs", "5",
+        "--interarrival", "3000", "--max-nodes", "2",
+        "--runtime-model", "analytic", "--no-cache",
+        "--fail-node", "0@2000", "--return-node", "0@30000",
+        "--telemetry", str(feed),
+    ]) == 0
+    events = [json.loads(ln) for ln in feed.read_text().splitlines()]
+    sched = [e for e in events if e["event"] == "batch_schedule"]
+    assert len(sched) == 2                # one per faulted repetition
+    assert all("requeues" in e and "node_lost_s" in e for e in sched)
+    capsys.readouterr()
+    assert main(["top", str(feed)]) == 0
+    out = capsys.readouterr().out
+    assert "batch      : requeues" in out
+    assert "node-lost" in out
+
+
+def test_top_omits_batch_line_for_unarmed_batch_feed(tmp_path, capsys):
+    feed = tmp_path / "plain.jsonl"
+    assert main([
+        "batch", "fcfs", "--pool", "2", "-n", "2", "--trace-jobs", "5",
+        "--interarrival", "3000", "--max-nodes", "2",
+        "--runtime-model", "analytic", "--no-cache",
+        "--telemetry", str(feed),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["top", str(feed)]) == 0
+    out = capsys.readouterr().out
+    assert "batch      :" not in out

@@ -176,3 +176,68 @@ def test_cluster_provenance_matches_golden(scenario: str, tmp_path: Path) -> Non
         f"provenance for {scenario} is not byte-identical to the golden "
         "fixture — the change is not semantics-preserving"
     )
+
+
+#: name -> kwargs for run_batch_campaign.  One faulted two-level schedule:
+#: a node crash under EASY kills residents, requeues them with
+#: checkpoint-aware restart pricing, and the repaired reservation backfills
+#: narrow jobs into the hole — the whole fault path in one fixture.
+BATCH_SCENARIOS = {
+    "batch_crash_requeue": dict(
+        policy="easy",
+        pool_nodes=3,
+        regime="stock",
+        n_runs=2,
+        base_seed=13,
+        runtime_model="analytic",
+        restart_cost_us=2_000,
+        fault_plan=FaultPlan.schedule(
+            (
+                FaultEvent(at=5_000, kind=FaultKind.NODE_FAIL, node=0),
+                FaultEvent(at=20_000, kind=FaultKind.NODE_RETURN, node=0),
+            ),
+            label="golden-batch-crash",
+        ),
+    ),
+}
+
+
+def _run_batch_scenario(spec: dict, out_path: Path) -> None:
+    from repro.batch.campaign import run_batch_campaign
+    from repro.batch.workload import WorkloadConfig
+
+    kwargs = dict(spec)
+    run_batch_campaign(
+        kwargs.pop("policy"),
+        kwargs.pop("pool_nodes"),
+        kwargs.pop("regime"),
+        kwargs.pop("n_runs"),
+        workload=WorkloadConfig(n_jobs=8, interarrival_us=2_000, max_nodes=2),
+        label="golden-batch",
+        provenance_path=str(out_path),
+        use_cache=False,
+        n_jobs=1,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(BATCH_SCENARIOS))
+def test_batch_provenance_matches_golden(scenario: str, tmp_path: Path) -> None:
+    fixture = GOLDEN_DIR / f"{scenario}.jsonl"
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        _run_batch_scenario(BATCH_SCENARIOS[scenario], fixture)
+        (fixture.parent / f"{scenario}.jsonl.meta.json").unlink(missing_ok=True)
+        return
+    assert fixture.is_file(), (
+        f"missing golden fixture {fixture}; generate with "
+        "REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_provenance.py"
+    )
+    out = tmp_path / f"{scenario}.jsonl"
+    _run_batch_scenario(BATCH_SCENARIOS[scenario], out)
+    got = out.read_bytes()
+    want = fixture.read_bytes()
+    assert got == want, (
+        f"provenance for {scenario} is not byte-identical to the golden "
+        "fixture — the change is not semantics-preserving"
+    )

