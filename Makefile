@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-faults test-cluster test-batch test-batch-faults test-sanitize lint bench perf perf-gate report figures examples clean
+.PHONY: install test test-faults test-cluster test-batch test-batch-faults test-sanitize lint bench perf perf-diff perf-gate report figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -65,6 +65,15 @@ bench-full:
 # Sim-core throughput suite: measure and write BENCH_simcore.json.
 perf:
 	$(PY) -m benchmarks.perf.simcore --out benchmarks/out/BENCH_simcore.json
+
+# Measure a fresh BENCH_simcore.json and print per-suite raw and
+# calibration-normalized ratios against the committed baseline (the same
+# report the CI perf-gate job uploads as its diff artifact).
+perf-diff:
+	$(PY) -m benchmarks.perf.simcore \
+	  --out benchmarks/out/BENCH_simcore.json \
+	  --baseline benchmarks/perf/baseline/BENCH_simcore.json \
+	  --diff --diff-out benchmarks/out/BENCH_diff.txt
 
 # The CI regression gate: measure and compare against the committed
 # baseline (fails on >15% calibration-normalized slowdown; tune with

@@ -164,7 +164,16 @@ def micro_warmth_invert(reps: int = DEFAULT_REPS) -> Dict[str, float]:
     return {"score": score, "unit": "calls/s", "wall_s": round(wall, 4)}
 
 
-def _macro_nas(app: str, klass: str, regime: str, reps: int) -> Dict[str, float]:
+def _macro_nas(
+    app: str, klass: str, regime: str, reps: int, inner: int = 1
+) -> Dict[str, float]:
+    """One NAS execution as events per wall second.
+
+    *inner* > 1 aggregates that many back-to-back executions into a
+    single measurement (total events / total seconds): a sub-20ms run
+    like ``is.A`` is pure scheduling-noise lottery on a shared host, and
+    no best-of can gate it at a 15% tolerance — a few runs per rep can.
+    """
     from repro.apps.nas import nas_program, nas_spec
     from repro.experiments.runner import _run_job
     from repro.topology.presets import power6_js22
@@ -173,19 +182,23 @@ def _macro_nas(app: str, klass: str, regime: str, reps: int) -> Dict[str, float]
     spec = nas_spec(app, klass)
 
     def run() -> Tuple[float, float]:
-        program = nas_program(spec, machine)
-        t0 = time.perf_counter()
-        job = _run_job(
-            program,
-            spec.nprocs,
-            regime,
-            seed=1,
-            machine=machine,
-            cold_speed=spec.cold_speed,
-            rewarm_scale=spec.rewarm_scale,
-        )
-        dt = time.perf_counter() - t0
-        return job.kernel.sim.events_processed / dt, dt
+        events = 0
+        dt = 0.0
+        for _ in range(inner):
+            program = nas_program(spec, machine)
+            t0 = time.perf_counter()
+            job = _run_job(
+                program,
+                spec.nprocs,
+                regime,
+                seed=1,
+                machine=machine,
+                cold_speed=spec.cold_speed,
+                rewarm_scale=spec.rewarm_scale,
+            )
+            dt += time.perf_counter() - t0
+            events += job.kernel.sim.events_processed
+        return events / dt, dt
 
     score, wall = _best_of(run, reps)
     return {"score": score, "unit": "events/s", "wall_s": round(wall, 4)}
@@ -224,7 +237,7 @@ SUITE: Dict[str, Callable[[], Dict[str, float]]] = {
     "nas_cg_B_stock": lambda: _macro_nas("cg", "B", "stock", DEFAULT_REPS),
     "nas_cg_B_hpl": lambda: _macro_nas("cg", "B", "hpl", DEFAULT_REPS),
     "nas_lu_A_stock": lambda: _macro_nas("lu", "A", "stock", DEFAULT_REPS),
-    "nas_is_A_stock": lambda: _macro_nas("is", "A", "stock", DEFAULT_REPS),
+    "nas_is_A_stock": lambda: _macro_nas("is", "A", "stock", DEFAULT_REPS, inner=4),
     "campaign_is_A_16": campaign_is_a,
 }
 
@@ -280,6 +293,44 @@ def compare(
     return failures
 
 
+def diff(current: Dict[str, object], baseline: Dict[str, object]) -> List[str]:
+    """Per-suite comparison lines — **every** metric, not just regressions.
+
+    Each line shows the baseline and current scores with both the raw
+    ratio and the calibration-normalized ratio the gate actually judges,
+    so a reviewer can see at a glance how much of a change is machine
+    speed and how much is the code.  Metrics present on only one side are
+    labelled rather than skipped."""
+    cur_calib = float(current["calibration_ops_per_sec"])  # type: ignore[arg-type]
+    base_calib = float(baseline["calibration_ops_per_sec"])  # type: ignore[arg-type]
+    if cur_calib <= 0 or base_calib <= 0:
+        raise ValueError("calibration score must be positive")
+    lines = [
+        f"calibration: {cur_calib:.0f} ops/s now vs {base_calib:.0f} baseline "
+        f"({cur_calib / base_calib:.2f}x machine speed)"
+    ]
+    cur_metrics: Dict[str, Dict[str, float]] = current["metrics"]  # type: ignore[assignment]
+    base_metrics: Dict[str, Dict[str, float]] = baseline["metrics"]  # type: ignore[assignment]
+    for name in sorted(set(cur_metrics) | set(base_metrics)):
+        cur = cur_metrics.get(name)
+        base = base_metrics.get(name)
+        if cur is None:
+            lines.append(f"{name:24s} (baseline only — not run)")
+            continue
+        if base is None:
+            lines.append(
+                f"{name:24s} {cur['score']:12.0f} {cur.get('unit', ''):9s} (new metric)"
+            )
+            continue
+        raw = cur["score"] / base["score"]
+        norm = (cur["score"] / cur_calib) / (base["score"] / base_calib)
+        lines.append(
+            f"{name:24s} {base['score']:12.0f} -> {cur['score']:12.0f} "
+            f"{cur.get('unit', ''):9s} raw {raw:5.2f}x  normalized {norm:5.2f}x"
+        )
+    return lines
+
+
 def format_report(doc: Dict[str, object]) -> str:
     lines = [f"calibration: {float(doc['calibration_ops_per_sec']):.0f} ops/s"]  # type: ignore[arg-type]
     for name, m in doc["metrics"].items():  # type: ignore[union-attr]
@@ -300,7 +351,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
     parser.add_argument("--only", nargs="*", help="subset of metrics to run")
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="print per-suite raw and normalized ratios vs --baseline",
+    )
+    parser.add_argument(
+        "--diff-out", help="also write the --diff report to this file"
+    )
     args = parser.parse_args(argv)
+
+    if (args.check or args.diff or args.diff_out) and not args.baseline:
+        parser.error("--check/--diff require --baseline")
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
 
     doc = collect(only=args.only)
     print(format_report(doc))
@@ -310,11 +376,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
+    if args.diff or args.diff_out:
+        report = "\n".join(diff(doc, baseline))
+        print(report)
+        if args.diff_out:
+            os.makedirs(os.path.dirname(args.diff_out) or ".", exist_ok=True)
+            with open(args.diff_out, "w") as fh:
+                fh.write(report + "\n")
+            print(f"wrote {args.diff_out}")
     if args.check:
-        if not args.baseline:
-            parser.error("--check requires --baseline")
-        with open(args.baseline) as fh:
-            baseline = json.load(fh)
         failures = compare(doc, baseline, tolerance=args.tolerance)
         if failures:
             print("PERF GATE FAILED:", file=sys.stderr)

@@ -9,7 +9,10 @@ Scores are calibration-normalized (see :mod:`benchmarks.perf.simcore`), so
 the committed baseline gates correctly on hosts of different speeds.  Set
 ``REPRO_PERF_TOLERANCE`` to loosen the default 15% budget on very noisy
 runners, and ``REPRO_PERF_OUT`` to also write the measured document (the CI
-job uploads it as the run's BENCH_simcore.json artifact).
+job uploads it as the run's BENCH_simcore.json artifact).  With
+``REPRO_PERF_DIFF`` set, the per-suite ratio report
+(:func:`benchmarks.perf.simcore.diff`) is written there too — the same
+table ``make perf-diff`` prints — and uploaded alongside it.
 """
 
 from __future__ import annotations
@@ -36,5 +39,10 @@ def test_simcore_perf_gate() -> None:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
     baseline = json.loads(BASELINE.read_text())
+    diff_out = os.environ.get("REPRO_PERF_DIFF")
+    if diff_out:
+        os.makedirs(os.path.dirname(diff_out) or ".", exist_ok=True)
+        with open(diff_out, "w") as fh:
+            fh.write("\n".join(simcore.diff(doc, baseline)) + "\n")
     failures = simcore.compare(doc, baseline)
     assert not failures, "perf regressions past tolerance:\n" + "\n".join(failures)

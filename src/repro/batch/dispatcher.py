@@ -464,9 +464,14 @@ class BatchDispatcher:
         # Starvation sweep: with the timeline exhausted, anything still
         # queued can never start (the surviving pool is permanently too
         # small for it).  Unreachable unarmed — the ctor width check plus
-        # walltime kills guarantee an unarmed queue always drains.
-        while self.queue:
-            self._fail(self.queue.pop(0), None)
+        # walltime kills guarantee an unarmed queue always drains.  Swept
+        # in one pass: the historical pop(0)-per-job loop re-shifted the
+        # whole list each iteration (quadratic in queue depth), which a
+        # large fault-stranded backlog turned into real time.
+        if self.queue:
+            for job in self.queue:
+                self._fail(job, None)
+            self.queue.clear()
         return self._result()
 
     def _push(self, when: Fraction, kind: int, job_id: int,

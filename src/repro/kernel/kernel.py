@@ -265,6 +265,7 @@ class Kernel:
             raise ValueError("RT policies need rt_priority in [1, 99]")
         task.policy = policy
         task.rt_priority = rt_priority if policy in SchedPolicy.RT else 0
+        task.refresh_sched_flags()
         if task.state == TaskState.RUNNING:
             # Re-arm the CPU timer: class rules (slice) changed.
             self.core.update_curr(task.cpu)  # type: ignore[arg-type]
@@ -319,6 +320,7 @@ class Kernel:
         if not -20 <= nice <= 19:
             raise ValueError("nice out of range")
         task.nice = nice
+        task.refresh_sched_flags()
 
     # -- execution-flow API --------------------------------------------------
 

@@ -18,6 +18,22 @@ __all__ = ["CpuRunqueue"]
 class CpuRunqueue:
     """The scheduler state of one CPU."""
 
+    __slots__ = (
+        "cpu_id",
+        "classes",
+        "queues",
+        "_class_by_name",
+        "_class_by_policy",
+        "_rank_by_name",
+        "_serving",
+        "_work_queues",
+        "curr",
+        "exec_start",
+        "timer_event",
+        "timer_kind",
+        "rt_throttled",
+    )
+
     def __init__(self, cpu_id: int, classes: Sequence[SchedClass]) -> None:
         self.cpu_id = cpu_id
         #: Scheduling classes, highest priority first (shared across CPUs).
@@ -39,6 +55,19 @@ class CpuRunqueue:
         self._rank_by_name: Dict[str, int] = {
             cls.name: rank for rank, cls in enumerate(classes)
         }
+        #: Policy -> ``(class, class queue, rank)``, the fully fused lookup
+        #: the scheduler core's per-event path uses: one dict probe replaces
+        #: the class_of + queues[name] + class_rank triple.
+        self._serving: Dict[str, tuple] = {
+            policy: (cls, self.queues[cls.name], self._rank_by_name[cls.name])
+            for policy, cls in self._class_by_policy.items()
+        }
+        #: The class queues that hold real work — everything but the idle
+        #: class — prebuilt so the occupancy counters below iterate a list
+        #: instead of filtering the dict by name on every call.
+        self._work_queues: List[ClassQueue] = [
+            q for name, q in self.queues.items() if name != "idle"
+        ]
         #: Currently running task (the idle task when the CPU is idle).
         self.curr: Optional[Task] = None
         #: Simulated time at which ``curr`` was last put on the CPU /
@@ -80,18 +109,18 @@ class CpuRunqueue:
         The parked idle task never counts as queued work."""
         if class_name is not None:
             return self.queues[class_name].nr_running
-        return sum(
-            q.nr_running for name, q in self.queues.items() if name != "idle"
-        )
+        count = 0
+        for q in self._work_queues:
+            count += q.nr_running
+        return count
 
     def nr_runnable(self, class_name: Optional[str] = None) -> int:
         """Queued + running tasks of *class_name* (or all classes).  The
         idle task never counts as runnable load."""
         count = 0
         if class_name is None:
-            count = sum(
-                q.nr_running for name, q in self.queues.items() if name != "idle"
-            )
+            for q in self._work_queues:
+                count += q.nr_running
             if self.curr is not None and not self.curr.is_idle:
                 count += 1
             return count

@@ -122,6 +122,30 @@ class SchedCore:
         self._core_cpu_ids: List[List[int]] = [
             [t.cpu_id for t in cpu.core.threads] for cpu in machine.cpus
         ]
+        #: cpu_id -> the run queues of every CPU on the same core (self
+        #: included): the object form of ``_core_cpu_ids``, so the per-event
+        #: SMT busy count reads ``rq.curr`` without an index hop.
+        self._core_rqs: List[List[CpuRunqueue]] = [
+            [self.rqs[c] for c in ids] for ids in self._core_cpu_ids
+        ]
+        #: cpu_id -> timer kind -> (callback, label): the per-CPU timer's
+        #: arming material, built once.  Re-arming is the hottest schedule
+        #: site in the simulator (once per checkpoint), and building a fresh
+        #: closure and label f-string per arm measurably dominated it.
+        self._timer_arm: List[Dict[str, tuple]] = [
+            {
+                kind: (
+                    (
+                        lambda cpu_id=cpu.cpu_id, kind=kind: self._on_cpu_timer(
+                            cpu_id, kind
+                        )
+                    ),
+                    f"cpu{cpu.cpu_id}:{kind}",
+                )
+                for kind in ("complete", "slice")
+            }
+            for cpu in machine.cpus
+        ]
         #: cpu_id -> its SMT sibling cpu_ids (self excluded).
         self._sibling_cpu_ids: List[List[int]] = [
             [t.cpu_id for t in cpu.core.threads if t.cpu_id != cpu.cpu_id]
@@ -132,6 +156,7 @@ class SchedCore:
         #: 1.0 in the fault-free case, where the `_base_rate` branch that
         #: applies it is never taken — zero-cost-when-unarmed.
         self._speed_scale: float = 1.0
+        self._rebuild_rate_tables()
         #: Wake/fork CPU selection, installed by the kernel facade.
         self.select_cpu: Callable[[Task, str], int] = lambda task, reason: (
             task.cpu if task.cpu is not None else 0
@@ -211,33 +236,69 @@ class SchedCore:
 
     # ------------------------------------------------------- accounting core
 
+    def _rebuild_rate_tables(self) -> None:
+        """Precompute ``_base_rate``'s answer per SMT-busy count.
+
+        The rate depends on three inputs: the busy-sibling count (indexes
+        the SMT throughput curve), the speed scale, and whether the tick
+        haircut applies.  Only the first and last vary per call, so the two
+        possible curves — with and without the haircut — are materialised
+        once here (and again on every ``set_speed_scale``), multiplied in
+        the same operand order the historical per-call arithmetic used.
+        ``_rate_mode`` collapses the config test: 0 = haircut always
+        applies, 1 = never (tick_overhead zero), 2 = tickless — apply it
+        only while queued work keeps the tick alive."""
+        scale = self._speed_scale
+        config = self.config
+        quiet = []
+        ticked = []
+        for smt in self._smt_throughput:
+            rate = smt
+            if scale != 1.0:
+                rate *= scale
+            quiet.append(rate)
+            ticked.append(rate * (1.0 - config.tick_overhead))
+        self._rate_quiet = quiet
+        self._rate_ticked = ticked if config.tick_overhead else quiet
+        if not config.tick_overhead:
+            self._rate_mode = 1
+        elif config.tickless:
+            self._rate_mode = 2
+        else:
+            self._rate_mode = 0
+
     def _base_rate(self, rq: CpuRunqueue) -> float:
         """Execution rate of the task on *rq* right now: SMT co-run factor
-        times the tick-bookkeeping haircut."""
-        rqs = self.rqs
+        times the tick-bookkeeping haircut (both via the precomputed
+        tables — see :meth:`_rebuild_rate_tables`)."""
         busy = 0
-        for cpu_id in self._core_cpu_ids[rq.cpu_id]:
-            curr = rqs[cpu_id].curr
+        for other in self._core_rqs[rq.cpu_id]:
+            curr = other.curr
             if curr is not None and not curr.is_idle:
                 busy += 1
         if busy < 1:
             busy = 1
-        rate = self._smt_throughput[busy - 1]
-        scale = self._speed_scale
-        if scale != 1.0:
-            rate *= scale
-        config = self.config
-        if config.tick_overhead:
-            tickless_quiet = config.tickless and rq.nr_queued() == 0
-            if not tickless_quiet:
-                rate *= 1.0 - config.tick_overhead
-        return rate
+        mode = self._rate_mode
+        if mode == 0:
+            return self._rate_ticked[busy - 1]
+        if mode == 1 or rq.nr_queued() == 0:
+            return self._rate_quiet[busy - 1]
+        return self._rate_ticked[busy - 1]
 
     def update_curr(self, cpu_id: int) -> None:
-        """Checkpoint the running task's accounting up to now."""
+        """Checkpoint the running task's accounting up to now.
+
+        Idempotent within an instant, and exploited as such: two thirds of
+        all calls arrive with the accounting already up to date (a cohort of
+        same-instant events each defensively checkpointing), so the
+        ``exec_start == now`` case must return before touching anything
+        else.  The zero-delta fall-through it skips only re-wrote
+        ``exec_start`` with the value it already holds."""
         rq = self.rqs[cpu_id]
-        p = rq.curr
         now = self.sim.now
+        if rq.exec_start == now:
+            return
+        p = rq.curr
         delta = now - rq.exec_start
         if p is None or delta <= 0:
             rq.exec_start = now
@@ -249,8 +310,8 @@ class SchedCore:
         if p.is_idle:
             return
 
-        cls = rq.class_of(p)
-        cls.charge(rq.queues[cls.name], p, delta)
+        cls, queue, _ = rq._serving[p.policy]
+        cls.charge(queue, p, delta)
 
         # Work progression: burn pending dead time first, then real work.
         effective = delta
@@ -261,22 +322,25 @@ class SchedCore:
             effective -= burned
         spinning = p.spinning
         warmth_state = p.warmth
-        if effective > 0 and not spinning and p.remaining_work is not None:
-            rate = self._base_rate(rq)
-            if warmth_state is not None:
-                speed = self.warmth.mean_speed_over(warmth_state, effective)
-            else:  # pragma: no cover - warmth always set before running
-                speed = 1.0
-            done = int(rate * speed * effective)
-            remaining = p.remaining_work - done
-            p.remaining_work = remaining if remaining > 0 else 0
+        if spinning or warmth_state is None:
+            if effective > 0 and not spinning and p.remaining_work is not None:
+                # pragma: no cover - warmth always set before running
+                done = int(self._base_rate(rq) * effective)
+                remaining = p.remaining_work - done
+                p.remaining_work = remaining if remaining > 0 else 0
+            return
 
-        # Cache dynamics: a working task rewarms itself and disturbs the
-        # core's other residents; a spinner's footprint is negligible.
-        if not spinning and warmth_state is not None:
-            if effective > 0:
-                self.warmth.run_for(warmth_state, effective)
-            self._core_clock[self._core_id_of[cpu_id]] += delta
+        # Cache dynamics fused with work progression: ``advance`` yields the
+        # warmth-integrated mean speed *and* applies the warmth decay from
+        # one shared exponential (bit-identical to the old
+        # mean_speed_over + run_for pair).
+        if effective > 0:
+            speed = self.warmth.advance(warmth_state, effective)
+            if p.remaining_work is not None:
+                done = int(self._base_rate(rq) * speed * effective)
+                remaining = p.remaining_work - done
+                p.remaining_work = remaining if remaining > 0 else 0
+        self._core_clock[self._core_id_of[cpu_id]] += delta
 
     def _apply_lazy_eviction(self, task: Task) -> None:
         """Fold in the cache disturbance that hit the task's home core while
@@ -387,8 +451,11 @@ class SchedCore:
         """Bring SMT siblings' accounting up to date *before* this CPU's
         busy state changes, so their past interval is integrated at the rate
         that actually prevailed."""
+        rqs = self.rqs
+        now = self.sim.now
         for sibling_id in self._sibling_cpu_ids[cpu_id]:
-            self.update_curr(sibling_id)
+            if rqs[sibling_id].exec_start != now:
+                self.update_curr(sibling_id)
 
     def preempt_curr(self, rq: CpuRunqueue, by: Optional[Task] = None) -> None:
         """Involuntarily displace the running task and reschedule.  *by* is
@@ -744,7 +811,7 @@ class SchedCore:
             sib_rq = rqs[sibling_id]
             curr = sib_rq.curr
             if curr is not None and not curr.is_idle:
-                self.update_curr(sibling_id)
+                # _program checkpoints the sibling itself before re-arming.
                 self._program(sib_rq)
 
     def set_speed_scale(self, factor: float) -> None:
@@ -767,6 +834,7 @@ class SchedCore:
         for rq in running:
             self.update_curr(rq.cpu_id)
         self._speed_scale = factor
+        self._rebuild_rate_tables()
         for rq in running:
             self._program(rq)
 
@@ -792,15 +860,19 @@ class SchedCore:
                 rq.timer_event = None
             return
         # Bring accounting up to date so remaining_work/slice_used are fresh
-        # relative to `now` (idempotent when already checkpointed).
-        self.update_curr(rq.cpu_id)
+        # relative to `now`.  Callers almost always checkpointed this very
+        # instant, so the guard is inlined rather than paying a call to
+        # find out (update_curr itself carries the same early exit).
         now = self.sim.now
+        if rq.exec_start != now:
+            self.update_curr(rq.cpu_id)
         t_fire = 0
         kind = ""
         remaining = p.remaining_work
         if not p.spinning and remaining is not None:
             if remaining <= _WORK_EPSILON:
-                t_done = now + max(p.pending_delay, 1)
+                pending = p.pending_delay
+                t_done = now + (pending if pending > 1 else 1)
             else:
                 rate = self._base_rate(rq)
                 assert p.warmth is not None
@@ -811,8 +883,8 @@ class SchedCore:
                 )
             t_fire = t_done if t_done > now else now + 1
             kind = "complete"
-        cls = rq.class_of(p)
-        slice_us = cls.task_slice(rq.queues[cls.name], p)
+        cls, queue, _ = rq._serving[p.policy]
+        slice_us = cls.task_slice(queue, p)
         if slice_us is not None:
             left = slice_us - p.slice_used
             t_slice = now + (left if left > 1 else 1)
@@ -836,11 +908,12 @@ class SchedCore:
         if event is not None:
             event.cancel()
         rq.timer_kind = kind
-        rq.timer_event = self.sim.at(
-            t_fire,
-            lambda cpu_id=rq.cpu_id, kind=kind: self._on_cpu_timer(cpu_id, kind),
-            priority=5,
-            label=f"cpu{rq.cpu_id}:{kind}",
+        # Arm with the prebuilt callback/label; scheduling directly on the
+        # queue is safe because t_fire > now by construction above (the
+        # ``sim.at`` past-guard can never trip).
+        callback, label = self._timer_arm[rq.cpu_id][kind]
+        rq.timer_event = self.sim.queue.schedule(
+            t_fire, callback, priority=5, label=label
         )
 
     def _on_cpu_timer(self, cpu_id: int, kind: str) -> None:
@@ -876,8 +949,8 @@ class SchedCore:
             return
         # Slice expiry (or a completion that rounding left marginally short:
         # reprogramming converges because time_for_work >= 1).
-        cls = rq.class_of(p)
-        slice_us = cls.task_slice(rq.queues[cls.name], p)
+        cls, queue, _ = rq._serving[p.policy]
+        slice_us = cls.task_slice(queue, p)
         if kind == "slice" and slice_us is not None and p.slice_used >= slice_us:
             self.preempt_curr(rq)
         else:

@@ -110,6 +110,17 @@ class Task:
         "created_at",
         "exited_at",
         "user_data",
+        # Policy-derived flags and CFS weight, cached as plain slots.  The
+        # scheduler core reads these on every accounting pass (is_idle alone
+        # is read >100k times in one NAS run), so they must not be property
+        # calls.  Policy and nice change only through the kernel facade
+        # (sched_setscheduler / setpriority), which calls
+        # ``refresh_sched_flags`` after mutating.
+        "is_hpc",
+        "is_rt",
+        "is_fair",
+        "is_idle",
+        "weight",
     )
 
     def __init__(
@@ -165,33 +176,26 @@ class Task:
         self.exited_at: Optional[int] = None
         #: free-form slot for the application layer (e.g. its MPI rank object)
         self.user_data = None
+        self.refresh_sched_flags()
 
-    # ------------------------------------------------------------ properties
+    # ---------------------------------------------------- derived attributes
 
-    @property
-    def weight(self) -> int:
-        """CFS load weight derived from nice (RT/HPC tasks count as nice-0
-        weight for run-queue load purposes, as the stock balancer does when
-        it counts runnable tasks)."""
-        if self.policy in SchedPolicy.FAIR:
-            return nice_to_weight(self.nice)
-        return NICE_0_WEIGHT
+    def refresh_sched_flags(self) -> None:
+        """Recompute the cached policy-derived flags and CFS weight.
 
-    @property
-    def is_hpc(self) -> bool:
-        return self.policy == SchedPolicy.HPC
-
-    @property
-    def is_rt(self) -> bool:
-        return self.policy in SchedPolicy.RT
-
-    @property
-    def is_fair(self) -> bool:
-        return self.policy in SchedPolicy.FAIR
-
-    @property
-    def is_idle(self) -> bool:
-        return self.policy == SchedPolicy.IDLE
+        Must be called after any mutation of ``policy`` or ``nice``; the
+        kernel facade's ``sched_setscheduler``/``setpriority`` are the only
+        such sites.  ``weight`` is the CFS load weight derived from nice
+        (RT/HPC tasks count as nice-0 weight for run-queue load purposes,
+        as the stock balancer does when it counts runnable tasks)."""
+        policy = self.policy
+        self.is_hpc = policy == SchedPolicy.HPC
+        self.is_rt = policy in SchedPolicy.RT
+        self.is_fair = policy in SchedPolicy.FAIR
+        self.is_idle = policy == SchedPolicy.IDLE
+        self.weight = (
+            nice_to_weight(self.nice) if self.is_fair else NICE_0_WEIGHT
+        )
 
     @property
     def alive(self) -> bool:

@@ -67,7 +67,7 @@ class WarmthParams:
 class TaskWarmth:
     """Per-task warmth state."""
 
-    __slots__ = ("warmth", "home_cpu", "cold_speed", "rewarm_scale")
+    __slots__ = ("warmth", "home_cpu", "cold_speed", "rewarm_scale", "_tfw_memo")
 
     def __init__(
         self,
@@ -87,6 +87,10 @@ class TaskWarmth:
         #: takes proportionally longer to refill the cache after a migration
         #: or eviction.
         self.rewarm_scale = rewarm_scale
+        #: Single-slot memo for :meth:`WarmthModel.time_for_work`:
+        #: ``(warmth, work_us, base_rate, result)``.  The key embeds the
+        #: current warmth, so any dynamics update invalidates it for free.
+        self._tfw_memo: Optional[tuple] = None
 
 
 class WarmthModel:
@@ -160,6 +164,32 @@ class WarmthModel:
         cold = self._cold_speed(state)
         return cold + (1.0 - cold) * mean_warmth
 
+    def advance(self, state: TaskWarmth, delta_us: int) -> float:
+        """Fused :meth:`mean_speed_over` + :meth:`run_for`: return the mean
+        speed over the next *delta_us* of execution and apply the warmth
+        rewarming for it, sharing the one exponential both need.
+
+        The expressions are copied from the two methods verbatim (same
+        operand order), so the returned speed and the post-state are
+        bit-identical to calling them separately — this is the scheduler
+        core's per-event accounting path, where the duplicate ``exp`` was
+        pure overhead."""
+        if delta_us < 0:
+            raise ValueError("negative interval")
+        if delta_us == 0:
+            return self.speed_factor(state)
+        params = self.params
+        tau = params.rewarm_tau * state.rewarm_scale
+        gap = 1.0 - state.warmth
+        decay = math.exp(-delta_us / tau)
+        # ∫0..Δ (1 - gap e^(-t/τ)) dt = Δ - gap τ (1 - e^(-Δ/τ))
+        mean_warmth = 1.0 - gap * tau * (1.0 - decay) / delta_us
+        cold = state.cold_speed
+        if cold is None:
+            cold = params.cold_speed
+        state.warmth = 1.0 - gap * decay
+        return cold + (1.0 - cold) * mean_warmth
+
     def time_for_work(self, state: TaskWarmth, work_us: int, base_rate: float) -> int:
         """Invert :meth:`mean_speed_over`: µs of wall-execution needed to
         complete *work_us* of work at ``base_rate × speed_factor`` rate.
@@ -176,18 +206,43 @@ class WarmthModel:
         if base_rate <= 0:
             raise ValueError("base_rate must be positive")
 
-        def work_done(delta: int) -> float:
-            return self.mean_speed_over(state, delta) * delta * base_rate
+        # Re-programming a CPU timer within one instant repeats this
+        # inversion with identical inputs about a third of the time (sibling
+        # reprograms, defensive re-arms); the one-slot memo answers those
+        # without re-running Newton.  The key embeds the warmth value, so
+        # any warmth update since the last call misses naturally.
+        memo = state._tfw_memo
+        warmth_now = state.warmth
+        if (
+            memo is not None
+            and memo[0] == warmth_now
+            and memo[1] == work_us
+            and memo[2] == base_rate
+        ):
+            return memo[3]
 
-        cold = self._cold_speed(state)
+        params = self.params
+        cold = state.cold_speed
+        if cold is None:
+            cold = params.cold_speed
+        tau = params.rewarm_tau * state.rewarm_scale
+        gap = 1.0 - state.warmth
+        exp = math.exp
+
+        def work_done(delta: int) -> float:
+            # mean_speed_over(state, delta) * delta * base_rate, inlined
+            # with the identical operand order (delta >= 1 at every call
+            # site, so the delta == 0 branch is unreachable here).
+            mean_warmth = 1.0 - gap * tau * (1.0 - exp(-delta / tau)) / delta
+            return (cold + (1.0 - cold) * mean_warmth) * delta * base_rate
+
         # Even at the cold floor the task finishes within this.
         hi = int(work_us / (base_rate * cold)) + 2
 
         # Closed form: work(Δ) = R·(Δ - C·(1 - e^(-Δ/τ))) with
         # C = (1-cold)·gap·τ — increasing and convex, so Newton started
         # above the root converges monotonically.
-        tau = self._tau(state)
-        c = (1.0 - cold) * (1.0 - state.warmth) * tau
+        c = (1.0 - cold) * gap * tau
         target = work_us / base_rate
         d = target + c
         if c > 0.0:
@@ -212,4 +267,5 @@ class WarmthModel:
             n += 1
             while n < hi and work_done(n) < work_us:
                 n += 1
+        state._tfw_memo = (warmth_now, work_us, base_rate, n)
         return n

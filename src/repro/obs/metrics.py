@@ -378,7 +378,7 @@ class SimProfiler:
                 counter = self.registry.counter("sim.events_by_type", type=key)
                 self._by_type[key] = counter
         counter.inc()
-        self._heap_hw.set(len(self.sim.queue._heap))
+        self._heap_hw.set(self.sim.queue.depth())
         if time == self._last_time:
             self._cascade += 1
         else:

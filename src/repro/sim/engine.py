@@ -129,47 +129,84 @@ class Simulator:
         returns immediately and consumes the stop request.  (Historically
         the flag was unconditionally reset on entry, silently discarding
         stops requested between segments.)
+
+        A *horizon* behind the current clock is an error: the run loop never
+        moves the clock backwards.  (Historically ``horizon < now`` silently
+        rewound ``self.now``, corrupting every duration computed downstream.)
+
+        Same-instant cascade batching: all events sharing one timestamp — a
+        barrier release waking every rank, a tick cohort — are drained in a
+        single inner pass, paying the horizon/watchdog bookkeeping once per
+        *instant* instead of once per event.  Within the cohort, order is
+        still exactly ``(time, priority, seq)``: the queue is re-peeked
+        after every callback, so an event scheduled *at the current instant
+        with a lower priority* by a callback correctly jumps ahead of the
+        cohort's remaining members.  Stop requests, per-event trace hooks,
+        and the event budget keep their per-event semantics.
         """
+        if horizon is not None and horizon < self.now:
+            raise ValueError(
+                f"cannot run backwards: horizon={horizon} < now={self.now}"
+            )
         queue = self.queue
         hooks = self._trace_hooks
         max_sim_time = self.max_sim_time
         max_events = self.max_events
         next_live = queue.next_live
         pop_head = queue.pop_head
-        while True:
-            if self._stopped:
-                # Honor the stop — pending from between segments, or raised
-                # by the event that just fired — and consume the request.
-                self._stopped = False
-                break
-            event = next_live()
-            if event is None:
-                break
-            next_time = event.time
-            if horizon is not None and next_time > horizon:
-                self.now = horizon
-                break
-            if max_sim_time is not None and next_time > max_sim_time:
-                raise SimStallError(
-                    f"simulated clock passed max_sim_time={max_sim_time} "
-                    f"(next event at t={next_time}, "
-                    f"{self.events_processed} events processed); "
-                    f"{queue.summary()}"
-                )
-            pop_head()
-            if next_time < self.now:  # pragma: no cover - internal invariant
-                raise AssertionError("event queue returned a past event")
-            self.now = next_time
-            self.events_processed += 1
-            if self.events_processed > max_events:
-                raise SimStallError(
-                    f"exceeded {max_events} events at t={self.now} "
-                    f"(likely a zero-length self-rescheduling loop); "
-                    f"tripped on {event.label or '<unlabelled>'!r}; "
-                    f"{queue.summary()}"
-                )
-            if hooks:
-                for hook in hooks:
-                    hook(next_time, event.label)
-            event.callback()
+        # The event counter runs in a local (written back in the finally so
+        # exceptions and stall errors still report exact counts); the head
+        # event is peeked once and carried between the outer (per-instant)
+        # and inner (per-event) loops — never re-peeked.
+        processed = self.events_processed
+        event = next_live()
+        try:
+            while True:
+                if self._stopped:
+                    # Honor the stop — pending from between segments, or
+                    # raised by the event that just fired — and consume the
+                    # request.
+                    self._stopped = False
+                    break
+                if event is None:
+                    break
+                t = event.time
+                if horizon is not None and t > horizon:
+                    self.now = horizon
+                    break
+                if max_sim_time is not None and t > max_sim_time:
+                    raise SimStallError(
+                        f"simulated clock passed max_sim_time={max_sim_time} "
+                        f"(next event at t={t}, "
+                        f"{processed} events processed); "
+                        f"{queue.summary()}"
+                    )
+                if t < self.now:  # pragma: no cover - internal invariant
+                    raise AssertionError("event queue returned a past event")
+                self.now = t
+                # Inner pass: fire the entire same-instant cohort.  The
+                # clock cannot move inside it (callbacks can only schedule
+                # at >= now), so the horizon/watchdog guards above hold for
+                # every member.
+                while True:
+                    pop_head()
+                    processed += 1
+                    if processed > max_events:
+                        raise SimStallError(
+                            f"exceeded {max_events} events at t={self.now} "
+                            f"(likely a zero-length self-rescheduling loop); "
+                            f"tripped on {event.label or '<unlabelled>'!r}; "
+                            f"{queue.summary()}"
+                        )
+                    if hooks:
+                        for hook in hooks:
+                            hook(t, event.label)
+                    event.callback()
+                    if self._stopped:
+                        break  # outer loop consumes the request
+                    event = next_live()
+                    if event is None or event.time != t:
+                        break
+        finally:
+            self.events_processed = processed
         return self.now

@@ -341,3 +341,20 @@ def test_mtbf_without_repair_is_fail_stop():
     # fail-stop: at most one failure per node
     nodes = [ev.node for ev in p.events]
     assert len(nodes) == len(set(nodes))
+
+
+def test_starvation_sweep_fails_whole_backlog_in_queue_order():
+    # A large backlog stranded by the death of the whole pool: the sweep
+    # must fail every queued job (historically a pop(0)-per-job loop that
+    # went quadratic in backlog depth — now one pass) and leave nothing
+    # behind, counting each exactly once.
+    n = 60
+    jobs = [job(i, 10 * i, 1, 20_000) for i in range(n)]
+    r = run(jobs, 1, "fcfs", {i: 50_000 for i in range(n)},
+            fault_plan=plan(fail(1_000, 0)))
+    o = outcomes(r)
+    assert r.failed == n
+    assert all(o[i].failed for i in range(n))
+    # Jobs that never started carry zero runtime; only the resident at the
+    # time of the fault accumulated any.
+    assert sum(1 for i in range(n) if o[i].runtime > 0) <= 1

@@ -70,7 +70,7 @@ class TestPendingStop:
 
 
 def _live_events(queue: EventQueue) -> int:
-    return sum(1 for entry in queue._heap if not entry[3].cancelled)
+    return sum(1 for entry in queue._pending_entries() if not entry[3].cancelled)
 
 
 class TestQueueLen:
@@ -177,3 +177,38 @@ class TestClassLookup:
         task = type("T", (), {"policy": "SCHED_NONSENSE"})()
         with pytest.raises(ValueError, match="SCHED_NONSENSE"):
             rq.class_of(task)
+
+
+# ------------------------------------------------------ backwards horizon
+
+
+class TestBackwardsHorizon:
+    def test_horizon_behind_now_raises(self) -> None:
+        """Historically ``run_until(horizon)`` with ``horizon < now``
+        silently rewound the clock, corrupting every duration computed
+        downstream; it must be a loud error."""
+        sim = Simulator()
+        sim.at(100, lambda: None)
+        sim.run_until(100)
+        assert sim.now == 100
+        with pytest.raises(ValueError, match="cannot run backwards"):
+            sim.run_until(50)
+        assert sim.now == 100  # the failed call moved nothing
+
+    def test_horizon_equal_to_now_is_fine(self) -> None:
+        sim = Simulator()
+        sim.at(10, lambda: None)
+        sim.run_until(10)
+        assert sim.run_until(10) == 10  # no-op, not an error
+
+    def test_error_raised_before_any_event_fires(self) -> None:
+        sim = Simulator()
+        fired = []
+        sim.at(30, lambda: fired.append("x"))
+        sim.run_until(20)
+        assert sim.now == 20
+        with pytest.raises(ValueError):
+            sim.run_until(10)
+        assert fired == []
+        sim.run_until()
+        assert fired == ["x"]
